@@ -1,0 +1,54 @@
+"""repro — Processing Transactions over Optimistic Atomic Broadcast Protocols.
+
+A faithful, simulation-based reproduction of Kemme, Pedone, Alonso & Schiper
+(ICDCS 1999): a replicated database architecture that overlaps the
+coordination phase of an atomic broadcast with the execution of transactions
+by delivering every message twice (optimistically on receipt, definitively
+once the total order is agreed) while preserving 1-copy-serializability.
+
+Quickstart::
+
+    from repro import ClusterConfig, ProcedureRegistry, ReplicatedDatabase
+
+    registry = ProcedureRegistry()
+
+    @registry.procedure("deposit", conflict_class="C_accounts")
+    def deposit(ctx, params):
+        balance = ctx.read(params["account"])
+        ctx.write(params["account"], balance + params["amount"])
+
+    cluster = ReplicatedDatabase(
+        ClusterConfig(site_count=4), registry,
+        initial_data={"account:alice": 100},
+    )
+    cluster.submit("N1", "deposit", {"account": "account:alice", "amount": 25})
+    cluster.run_until_idle()
+    print(cluster.replica("N3").database_contents())
+"""
+
+from .core import (
+    BROADCAST_CONSERVATIVE,
+    BROADCAST_OPTIMISTIC,
+    ClusterConfig,
+    ReplicatedDatabase,
+)
+from .database import (
+    ConflictClassMap,
+    ProcedureRegistry,
+    StoredProcedure,
+    TransactionContext,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "ReplicatedDatabase",
+    "BROADCAST_OPTIMISTIC",
+    "BROADCAST_CONSERVATIVE",
+    "ConflictClassMap",
+    "ProcedureRegistry",
+    "StoredProcedure",
+    "TransactionContext",
+    "__version__",
+]

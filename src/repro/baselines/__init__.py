@@ -1,0 +1,31 @@
+"""Baselines the paper compares against (conceptually or explicitly)."""
+
+from .conservative import (
+    build_conservative_cluster,
+    conservative_config,
+    optimistic_config,
+)
+from .lazy import (
+    LazyCommitRecord,
+    LazyReplica,
+    LazyReplicatedDatabase,
+    PropagatedUpdate,
+)
+from .pessimistic import (
+    GLOBAL_CLASS,
+    build_pessimistic_cluster,
+    single_class_registry,
+)
+
+__all__ = [
+    "build_conservative_cluster",
+    "conservative_config",
+    "optimistic_config",
+    "LazyCommitRecord",
+    "LazyReplica",
+    "LazyReplicatedDatabase",
+    "PropagatedUpdate",
+    "GLOBAL_CLASS",
+    "build_pessimistic_cluster",
+    "single_class_registry",
+]

@@ -1,0 +1,65 @@
+"""Conservative (non-optimistic) processing baseline.
+
+The baseline the paper compares against conceptually: transactions are only
+handed to the transaction manager once their definitive total order is known,
+so execution starts *after* the ordering phase instead of overlapping with
+it.  The baseline reuses the whole OTP stack — the only difference is the
+broadcast protocol, which delivers messages tentatively and definitively at
+the same instant (see :class:`repro.broadcast.sequencer.SequencerAtomicBroadcast`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.cluster import ReplicatedDatabase
+from ..core.config import BROADCAST_CONSERVATIVE, BROADCAST_OPTIMISTIC, ClusterConfig
+from ..database.conflict import ConflictClassMap
+from ..database.procedures import ProcedureRegistry
+from ..types import ObjectKey, ObjectValue
+
+
+def conservative_config(base: Optional[ClusterConfig] = None, **overrides) -> ClusterConfig:
+    """Return a copy of ``base`` configured for conservative processing."""
+    base = base or ClusterConfig()
+    return ClusterConfig(
+        site_count=overrides.get("site_count", base.site_count),
+        seed=overrides.get("seed", base.seed),
+        broadcast=BROADCAST_CONSERVATIVE,
+        ordering_mode=overrides.get("ordering_mode", base.ordering_mode),
+        latency_model=overrides.get("latency_model", base.latency_model),
+        loss_probability=overrides.get("loss_probability", base.loss_probability),
+        cpu_count=overrides.get("cpu_count", base.cpu_count),
+        duration_scale=overrides.get("duration_scale", base.duration_scale),
+        voting_timeout=overrides.get("voting_timeout", base.voting_timeout),
+        echo_on_first_receipt=overrides.get("echo_on_first_receipt", base.echo_on_first_receipt),
+        record_deliveries=overrides.get("record_deliveries", base.record_deliveries),
+    )
+
+
+def optimistic_config(base: Optional[ClusterConfig] = None, **overrides) -> ClusterConfig:
+    """Return a copy of ``base`` configured for optimistic (OTP) processing."""
+    base = base or ClusterConfig()
+    config = conservative_config(base, **overrides)
+    config.broadcast = BROADCAST_OPTIMISTIC
+    return config
+
+
+def build_conservative_cluster(
+    config: ClusterConfig,
+    registry: ProcedureRegistry,
+    *,
+    conflict_map: Optional[ConflictClassMap] = None,
+    initial_data: Optional[Dict[ObjectKey, ObjectValue]] = None,
+) -> ReplicatedDatabase:
+    """Build a cluster that processes transactions conservatively.
+
+    The returned cluster has exactly the same public API as the optimistic
+    one, which is what the overlap benchmark (claim C1) relies on.
+    """
+    return ReplicatedDatabase(
+        conservative_config(config),
+        registry,
+        conflict_map=conflict_map,
+        initial_data=initial_data,
+    )

@@ -1,0 +1,60 @@
+"""Fully pessimistic single-queue baseline.
+
+An ablation used to quantify what the conflict classes buy: every update
+transaction is forced into one global conflict class, so all updates are
+executed strictly sequentially in definitive-order at every site.  Combined
+with the conservative broadcast this is the most pessimistic scheme the
+paper's framework can express; combined with the optimistic broadcast it
+isolates the benefit of optimistic execution when no inter-class
+parallelism is available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.cluster import ReplicatedDatabase
+from ..core.config import ClusterConfig
+from ..database.conflict import ConflictClassMap
+from ..database.procedures import ProcedureRegistry, StoredProcedure
+from ..types import ObjectKey, ObjectValue
+
+#: Name of the single conflict class used by the pessimistic baseline.
+GLOBAL_CLASS = "C_global"
+
+
+def single_class_registry(registry: ProcedureRegistry) -> ProcedureRegistry:
+    """Return a copy of ``registry`` with every update procedure remapped to
+    one global conflict class (queries are left untouched)."""
+    merged = ProcedureRegistry()
+    for name in registry.names():
+        procedure = registry.get(name)
+        if procedure.is_query:
+            merged.register(procedure)
+        else:
+            merged.register(
+                StoredProcedure(
+                    name=procedure.name,
+                    body=procedure.body,
+                    conflict_class=GLOBAL_CLASS,
+                    is_query=False,
+                    duration=procedure.duration,
+                )
+            )
+    return merged
+
+
+def build_pessimistic_cluster(
+    config: ClusterConfig,
+    registry: ProcedureRegistry,
+    *,
+    conflict_map: Optional[ConflictClassMap] = None,
+    initial_data: Optional[Dict[ObjectKey, ObjectValue]] = None,
+) -> ReplicatedDatabase:
+    """Build a cluster whose update transactions all share one conflict class."""
+    return ReplicatedDatabase(
+        config,
+        single_class_registry(registry),
+        conflict_map=conflict_map,
+        initial_data=initial_data,
+    )

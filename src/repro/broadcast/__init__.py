@@ -1,0 +1,62 @@
+"""Group-communication substrate: reliable, FIFO, conservative and optimistic
+atomic broadcast, plus consensus and the spontaneous-order measurement."""
+
+from .consensus import CONSENSUS_KIND, ConsensusMessage, ConsensusParticipant
+from .fifo import FIFO_KIND, FifoBroadcast
+from .interfaces import (
+    AtomicBroadcastEndpoint,
+    BroadcastMessage,
+    BroadcastStats,
+    DeliveryListener,
+    next_broadcast_id,
+)
+from .optimistic import (
+    OPTIMISTIC_ANNOUNCE_KIND,
+    OPTIMISTIC_DATA_KIND,
+    OPTIMISTIC_ORDER_KIND,
+    OptimisticAtomicBroadcast,
+)
+from .reliable import RELIABLE_KIND, ReliableBroadcast
+from .sequencer import (
+    SEQUENCER_DATA_KIND,
+    SEQUENCER_ORDER_KIND,
+    SequencerAtomicBroadcast,
+)
+from .spontaneous import (
+    PROBE_KIND,
+    OrderAgreementReport,
+    PeriodicMulticastSource,
+    ProbeMessage,
+    order_agreement,
+    receive_sequences,
+    tentative_vs_definitive_mismatch,
+)
+
+__all__ = [
+    "ConsensusParticipant",
+    "ConsensusMessage",
+    "CONSENSUS_KIND",
+    "FifoBroadcast",
+    "FIFO_KIND",
+    "AtomicBroadcastEndpoint",
+    "BroadcastMessage",
+    "BroadcastStats",
+    "DeliveryListener",
+    "next_broadcast_id",
+    "OptimisticAtomicBroadcast",
+    "OPTIMISTIC_DATA_KIND",
+    "OPTIMISTIC_ORDER_KIND",
+    "OPTIMISTIC_ANNOUNCE_KIND",
+    "ReliableBroadcast",
+    "RELIABLE_KIND",
+    "SequencerAtomicBroadcast",
+    "SEQUENCER_DATA_KIND",
+    "SEQUENCER_ORDER_KIND",
+    "PeriodicMulticastSource",
+    "ProbeMessage",
+    "PROBE_KIND",
+    "OrderAgreementReport",
+    "order_agreement",
+    "receive_sequences",
+    "tentative_vs_definitive_mismatch",
+]

@@ -1,0 +1,297 @@
+"""Rotating-coordinator consensus (Chandra-Toueg style, simplified).
+
+The optimistic atomic broadcast of Pedone & Schiper falls back to a consensus
+round when the spontaneous receive orders disagree.  This module provides a
+self-contained consensus substrate: a rotating-coordinator protocol that
+tolerates coordinator crashes through round changes driven by timeouts (an
+unreliable failure detector in disguise) and reaches agreement once a
+majority of sites is up long enough.
+
+The implementation favours clarity over message-count optimality.  Its role
+in the repository is to provide a tested, reusable agreement substrate
+matching reference [6] of the paper: it shows how the coordinator-based
+confirmation step of :mod:`repro.broadcast.optimistic` generalises to a
+majority-based decision that tolerates coordinator crashes without the
+cluster-level failover used by the default configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConsensusError
+from ..network.message import Envelope
+from ..network.transport import NetworkTransport
+from ..simulation.kernel import SimulationKernel
+from ..simulation.timers import Timeout
+from ..types import SiteId
+
+#: Envelope kind for all consensus control messages.
+CONSENSUS_KIND = "consensus.control"
+
+#: Callback invoked with ``(instance_id, decided_value)``.
+DecisionListener = Callable[[str, Any], None]
+
+
+@dataclass(frozen=True)
+class ConsensusMessage:
+    """Wire format of consensus control messages."""
+
+    instance_id: str
+    round_number: int
+    message_type: str  # "estimate" | "proposal" | "ack" | "decide"
+    value: Any = None
+    sender: SiteId = ""
+
+
+@dataclass
+class _InstanceState:
+    """Per-instance state kept by each participant."""
+
+    instance_id: str
+    estimate: Any = None
+    has_estimate: bool = False
+    round_number: int = 0
+    decided: bool = False
+    decision: Any = None
+    acks: Dict[int, set] = field(default_factory=dict)
+    proposal_sent: Dict[int, bool] = field(default_factory=dict)
+    received_estimates: Dict[int, List[Any]] = field(default_factory=dict)
+    timeout: Optional[Timeout] = None
+
+
+class ConsensusParticipant:
+    """Per-site participant able to run many independent consensus instances.
+
+    Parameters
+    ----------
+    sites:
+        Full membership; the coordinator of round ``r`` is
+        ``sites[r % len(sites)]``.
+    round_timeout:
+        How long a participant waits for a decision in a round before
+        advancing to the next round (i.e. suspecting the coordinator).
+    """
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        transport: NetworkTransport,
+        site_id: SiteId,
+        sites: List[SiteId],
+        *,
+        round_timeout: float = 0.050,
+    ) -> None:
+        if site_id not in sites:
+            raise ConsensusError(f"site {site_id!r} is not part of the membership {sites!r}")
+        if round_timeout <= 0.0:
+            raise ConsensusError("round timeout must be positive")
+        self.kernel = kernel
+        self.transport = transport
+        self.site_id = site_id
+        self.sites = list(sites)
+        self.round_timeout = round_timeout
+        self._instances: Dict[str, _InstanceState] = {}
+        self._listeners: List[DecisionListener] = []
+        self.decisions: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------- api
+    def add_decision_listener(self, listener: DecisionListener) -> None:
+        """Register a callback invoked once per decided instance."""
+        self._listeners.append(listener)
+
+    def propose(self, instance_id: str, value: Any) -> None:
+        """Propose ``value`` for consensus instance ``instance_id``."""
+        state = self._state(instance_id)
+        if state.decided:
+            return
+        if not state.has_estimate:
+            state.estimate = value
+            state.has_estimate = True
+        self._start_round(state)
+
+    def decided(self, instance_id: str) -> bool:
+        """Return whether this participant has decided ``instance_id``."""
+        return instance_id in self.decisions
+
+    def decision_for(self, instance_id: str) -> Any:
+        """Return the decided value (raises if undecided)."""
+        if instance_id not in self.decisions:
+            raise ConsensusError(f"instance {instance_id!r} is not decided at {self.site_id}")
+        return self.decisions[instance_id]
+
+    # ------------------------------------------------------------- messaging
+    def on_envelope(self, envelope: Envelope) -> bool:
+        """Process an incoming envelope; returns True if it belonged here."""
+        if envelope.kind != CONSENSUS_KIND:
+            return False
+        message = envelope.payload
+        if not isinstance(message, ConsensusMessage):
+            return False
+        handler = {
+            "estimate": self._on_estimate,
+            "proposal": self._on_proposal,
+            "ack": self._on_ack,
+            "decide": self._on_decide,
+        }.get(message.message_type)
+        if handler is None:
+            return False
+        handler(message)
+        return True
+
+    # -------------------------------------------------------------- internal
+    def _state(self, instance_id: str) -> _InstanceState:
+        if instance_id not in self._instances:
+            self._instances[instance_id] = _InstanceState(instance_id=instance_id)
+        return self._instances[instance_id]
+
+    def coordinator_of(self, round_number: int) -> SiteId:
+        """Return the coordinator of ``round_number``."""
+        return self.sites[round_number % len(self.sites)]
+
+    def _majority(self) -> int:
+        return len(self.sites) // 2 + 1
+
+    def _start_round(self, state: _InstanceState) -> None:
+        if state.decided:
+            return
+        coordinator = self.coordinator_of(state.round_number)
+        if coordinator == self.site_id:
+            self._coordinate(state)
+        else:
+            self._send(
+                coordinator,
+                ConsensusMessage(
+                    instance_id=state.instance_id,
+                    round_number=state.round_number,
+                    message_type="estimate",
+                    value=state.estimate,
+                    sender=self.site_id,
+                ),
+            )
+        self._arm_timeout(state)
+
+    def _coordinate(self, state: _InstanceState) -> None:
+        if state.decided or state.proposal_sent.get(state.round_number):
+            return
+        if not state.has_estimate:
+            return
+        state.proposal_sent[state.round_number] = True
+        self._multicast(
+            ConsensusMessage(
+                instance_id=state.instance_id,
+                round_number=state.round_number,
+                message_type="proposal",
+                value=state.estimate,
+                sender=self.site_id,
+            )
+        )
+
+    def _arm_timeout(self, state: _InstanceState) -> None:
+        if state.timeout is None:
+            state.timeout = Timeout(
+                self.kernel,
+                self.round_timeout,
+                lambda: self._on_round_timeout(state.instance_id),
+                label=f"consensus-round:{state.instance_id}:{self.site_id}",
+            )
+        state.timeout.restart(self.round_timeout)
+
+    def _on_round_timeout(self, instance_id: str) -> None:
+        state = self._state(instance_id)
+        if state.decided:
+            return
+        state.round_number += 1
+        self._start_round(state)
+
+    def _on_estimate(self, message: ConsensusMessage) -> None:
+        state = self._state(message.instance_id)
+        if state.decided:
+            self._send(
+                message.sender,
+                ConsensusMessage(
+                    instance_id=state.instance_id,
+                    round_number=message.round_number,
+                    message_type="decide",
+                    value=state.decision,
+                    sender=self.site_id,
+                ),
+            )
+            return
+        if not state.has_estimate and message.value is not None:
+            state.estimate = message.value
+            state.has_estimate = True
+        if message.round_number > state.round_number:
+            state.round_number = message.round_number
+        if self.coordinator_of(state.round_number) == self.site_id:
+            self._coordinate(state)
+
+    def _on_proposal(self, message: ConsensusMessage) -> None:
+        state = self._state(message.instance_id)
+        if state.decided:
+            return
+        if message.round_number < state.round_number:
+            return
+        state.round_number = message.round_number
+        state.estimate = message.value
+        state.has_estimate = True
+        self._arm_timeout(state)
+        self._send(
+            message.sender,
+            ConsensusMessage(
+                instance_id=state.instance_id,
+                round_number=message.round_number,
+                message_type="ack",
+                sender=self.site_id,
+            ),
+        )
+
+    def _on_ack(self, message: ConsensusMessage) -> None:
+        state = self._state(message.instance_id)
+        if state.decided:
+            return
+        acks = state.acks.setdefault(message.round_number, set())
+        acks.add(message.sender)
+        acks.add(self.site_id)
+        if len(acks) >= self._majority():
+            self._multicast(
+                ConsensusMessage(
+                    instance_id=state.instance_id,
+                    round_number=message.round_number,
+                    message_type="decide",
+                    value=state.estimate,
+                    sender=self.site_id,
+                )
+            )
+
+    def _on_decide(self, message: ConsensusMessage) -> None:
+        state = self._state(message.instance_id)
+        if state.decided:
+            return
+        state.decided = True
+        state.decision = message.value
+        if state.timeout is not None:
+            state.timeout.cancel()
+        self.decisions[state.instance_id] = message.value
+        for listener in self._listeners:
+            listener(state.instance_id, message.value)
+
+    # ------------------------------------------------------------- transport
+    def _send(self, destination: SiteId, message: ConsensusMessage) -> None:
+        if destination == self.site_id:
+            self.kernel.schedule(0.0, lambda: self._loopback(message))
+            return
+        self.transport.unicast(self.site_id, destination, message, kind=CONSENSUS_KIND)
+
+    def _loopback(self, message: ConsensusMessage) -> None:
+        handler = {
+            "estimate": self._on_estimate,
+            "proposal": self._on_proposal,
+            "ack": self._on_ack,
+            "decide": self._on_decide,
+        }[message.message_type]
+        handler(message)
+
+    def _multicast(self, message: ConsensusMessage) -> None:
+        self.transport.multicast(self.site_id, message, kind=CONSENSUS_KIND)

@@ -1,0 +1,131 @@
+"""Common interfaces for broadcast protocols.
+
+The paper (Section 2.1) defines Atomic Broadcast with Optimistic Delivery by
+three primitives — ``TO-broadcast``, ``Opt-deliver`` and ``TO-deliver`` — and
+five properties (Termination, Global Agreement, Local Agreement, Global
+Order, Local Order).  Every protocol in this package exposes the same
+listener-based interface so that the transaction-processing layer can run on
+top of either the optimistic protocol or a conservative baseline without
+modification.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..types import MessageId, SiteId
+
+_BROADCAST_COUNTER = itertools.count(1)
+
+
+def next_broadcast_id(origin: SiteId) -> MessageId:
+    """Return a globally unique broadcast message identifier."""
+    return f"m:{origin}:{next(_BROADCAST_COUNTER)}"
+
+
+@dataclass
+class BroadcastMessage:
+    """A message handled by an atomic broadcast protocol.
+
+    One instance exists per site and per message; the timestamps record when
+    that particular site opt-delivered and TO-delivered the message, which the
+    benchmarks use to measure the ordering delay that OTP overlaps with
+    transaction execution.
+    """
+
+    message_id: MessageId
+    origin: SiteId
+    payload: Any
+    broadcast_at: float = 0.0
+    opt_delivered_at: Optional[float] = None
+    to_delivered_at: Optional[float] = None
+    definitive_position: Optional[int] = None
+
+    @property
+    def opt_delivered(self) -> bool:
+        """Whether this site has opt-delivered the message."""
+        return self.opt_delivered_at is not None
+
+    @property
+    def to_delivered(self) -> bool:
+        """Whether this site has TO-delivered the message."""
+        return self.to_delivered_at is not None
+
+    @property
+    def ordering_delay(self) -> Optional[float]:
+        """Time between optimistic and definitive delivery at this site."""
+        if self.opt_delivered_at is None or self.to_delivered_at is None:
+            return None
+        return self.to_delivered_at - self.opt_delivered_at
+
+
+#: Listener invoked on optimistic or definitive delivery of a message.
+DeliveryListener = Callable[[BroadcastMessage], None]
+
+
+@dataclass
+class BroadcastStats:
+    """Counters shared by all broadcast protocol implementations."""
+
+    broadcasts: int = 0
+    opt_deliveries: int = 0
+    to_deliveries: int = 0
+    control_messages: int = 0
+    out_of_order_to_deliveries: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {
+            "broadcasts": self.broadcasts,
+            "opt_deliveries": self.opt_deliveries,
+            "to_deliveries": self.to_deliveries,
+            "control_messages": self.control_messages,
+            "out_of_order_to_deliveries": self.out_of_order_to_deliveries,
+        }
+
+
+class AtomicBroadcastEndpoint(abc.ABC):
+    """Per-site endpoint of an atomic broadcast protocol.
+
+    Subclasses implement :meth:`broadcast` and call :meth:`_emit_opt_deliver`
+    and :meth:`_emit_to_deliver` when the corresponding event happens locally.
+    """
+
+    def __init__(self, site_id: SiteId) -> None:
+        self.site_id = site_id
+        self.stats = BroadcastStats()
+        self._opt_listeners: List[DeliveryListener] = []
+        self._to_listeners: List[DeliveryListener] = []
+        #: Per-site log of delivered messages, in delivery order.  Used by the
+        #: property checker (Global/Local Order, Agreement).
+        self.opt_delivery_log: List[MessageId] = []
+        self.to_delivery_log: List[MessageId] = []
+
+    # ------------------------------------------------------------------- api
+    @abc.abstractmethod
+    def broadcast(self, payload: Any) -> MessageId:
+        """TO-broadcast ``payload`` to all sites; returns the message id."""
+
+    def add_opt_listener(self, listener: DeliveryListener) -> None:
+        """Register a callback for Opt-deliver events at this site."""
+        self._opt_listeners.append(listener)
+
+    def add_to_listener(self, listener: DeliveryListener) -> None:
+        """Register a callback for TO-deliver events at this site."""
+        self._to_listeners.append(listener)
+
+    # -------------------------------------------------------------- emitters
+    def _emit_opt_deliver(self, message: BroadcastMessage) -> None:
+        self.stats.opt_deliveries += 1
+        self.opt_delivery_log.append(message.message_id)
+        for listener in self._opt_listeners:
+            listener(message)
+
+    def _emit_to_deliver(self, message: BroadcastMessage) -> None:
+        self.stats.to_deliveries += 1
+        self.to_delivery_log.append(message.message_id)
+        for listener in self._to_listeners:
+            listener(message)

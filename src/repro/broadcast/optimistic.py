@@ -1,0 +1,336 @@
+"""Atomic Broadcast with Optimistic Delivery (paper Section 2.1).
+
+Implements the three primitives of the paper:
+
+* ``TO-broadcast(m)``   — :meth:`OptimisticAtomicBroadcast.broadcast`
+* ``Opt-deliver(m)``    — emitted to registered opt-listeners as soon as the
+  message arrives from the network (tentative order, may differ per site).
+* ``TO-deliver(m)``     — emitted once the definitive total order of the
+  message is known (identical at all sites).
+
+The definitive order is established by a coordinator site.  Two ordering
+modes are provided:
+
+``sequencer`` (default)
+    The coordinator confirms messages in the order it received them, with a
+    single additional control message per data message.  TO-delivery lags
+    Opt-delivery by roughly one network hop — the ordering delay that the OTP
+    transaction layer overlaps with transaction execution.
+
+``voting``
+    Faithful to the agreement-check of Pedone & Schiper's optimistic atomic
+    broadcast: every site announces its local (spontaneous) position for each
+    message; the coordinator releases the confirmation once all up sites have
+    announced the message, and records whether the spontaneous orders agreed
+    (fast path) or not (conservative path).  This mode costs extra messages
+    and latency and is used by the optimism trade-off benchmark (claim C5).
+
+Both modes satisfy the five properties of Section 2.1 in failure-free runs
+and tolerate coordinator crashes through explicit coordinator promotion
+(:meth:`set_coordinator`); the standalone consensus substrate
+(:mod:`repro.broadcast.consensus`) shows how the decision step generalises to
+a majority-based agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from ..errors import BroadcastError
+from ..network.dispatcher import SiteDispatcher
+from ..network.transport import NetworkTransport
+from ..simulation.kernel import SimulationKernel
+from ..types import MessageId, SiteId
+from .interfaces import AtomicBroadcastEndpoint, BroadcastMessage, next_broadcast_id
+from .reliable import ReliableBroadcast
+
+#: Envelope kinds used by the optimistic protocol.
+OPTIMISTIC_DATA_KIND = "optabcast.data"
+OPTIMISTIC_ORDER_KIND = "optabcast.order"
+OPTIMISTIC_ANNOUNCE_KIND = "optabcast.announce"
+
+#: Supported ordering modes.
+ORDERING_MODES = ("sequencer", "voting")
+
+
+@dataclass(frozen=True)
+class OptimisticData:
+    """Data message disseminated to all sites (carries the payload)."""
+
+    message_id: MessageId
+    origin: SiteId
+    payload: Any
+    broadcast_at: float
+
+
+@dataclass(frozen=True)
+class OptimisticOrder:
+    """Definitive-order confirmation emitted by the coordinator.
+
+    In practice this is the paper's "confirmation message that contains the
+    identifier of m" — the payload itself travelled in the data message.
+    """
+
+    message_id: MessageId
+    position: int
+
+
+@dataclass(frozen=True)
+class OptimisticAnnounce:
+    """A site's announcement of its local tentative position for a message."""
+
+    message_id: MessageId
+    site_id: SiteId
+    local_position: int
+
+
+@dataclass
+class _PendingConfirmation:
+    """Coordinator-side state for a message awaiting confirmation (voting mode)."""
+
+    message_id: MessageId
+    position: int
+    announced_positions: Dict[SiteId, int] = field(default_factory=dict)
+    released: bool = False
+
+
+class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
+    """Per-site endpoint of the atomic broadcast with optimistic delivery."""
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        transport: NetworkTransport,
+        dispatcher: SiteDispatcher,
+        site_id: SiteId,
+        *,
+        coordinator_site: SiteId,
+        ordering_mode: str = "sequencer",
+        voting_timeout: float = 0.010,
+        echo_on_first_receipt: bool = False,
+    ) -> None:
+        super().__init__(site_id)
+        if ordering_mode not in ORDERING_MODES:
+            raise BroadcastError(
+                f"unknown ordering mode {ordering_mode!r}; expected one of {ORDERING_MODES}"
+            )
+        if voting_timeout <= 0.0:
+            raise BroadcastError("voting timeout must be positive")
+        self.kernel = kernel
+        self.transport = transport
+        self.coordinator_site = coordinator_site
+        self.ordering_mode = ordering_mode
+        self.voting_timeout = voting_timeout
+        self._data_channel = ReliableBroadcast(
+            kernel,
+            transport,
+            site_id,
+            echo_on_first_receipt=echo_on_first_receipt,
+            kind=OPTIMISTIC_DATA_KIND,
+        )
+        self._order_channel = ReliableBroadcast(
+            kernel,
+            transport,
+            site_id,
+            echo_on_first_receipt=echo_on_first_receipt,
+            kind=OPTIMISTIC_ORDER_KIND,
+        )
+        dispatcher.register_kind(OPTIMISTIC_DATA_KIND, self._data_channel.on_envelope)
+        dispatcher.register_kind(OPTIMISTIC_ORDER_KIND, self._order_channel.on_envelope)
+        dispatcher.register_kind(OPTIMISTIC_ANNOUNCE_KIND, self._on_announce_envelope)
+        self._data_channel.add_listener(self._on_data)
+        self._order_channel.add_listener(self._on_order)
+        self._messages: Dict[MessageId, BroadcastMessage] = {}
+        self._local_positions: Dict[MessageId, int] = {}
+        self._next_local_position = 0
+        self._positions: Dict[int, MessageId] = {}
+        self._ordered_messages: Set[MessageId] = set()
+        self._next_position_to_assign = 0
+        self._next_position_to_deliver = 0
+        self._pending_confirmations: Dict[MessageId, _PendingConfirmation] = {}
+        #: Voting-mode statistics: confirmations released because every site
+        #: announced the same spontaneous position (fast path) vs. released on
+        #: disagreement or timeout (conservative path).
+        self.fast_path_confirmations = 0
+        self.conservative_confirmations = 0
+
+    # ------------------------------------------------------------------- api
+    def broadcast(self, payload: Any) -> MessageId:
+        """TO-broadcast ``payload`` to all sites (paper primitive)."""
+        message_id = next_broadcast_id(self.site_id)
+        self.stats.broadcasts += 1
+        data = OptimisticData(
+            message_id=message_id,
+            origin=self.site_id,
+            payload=payload,
+            broadcast_at=self.kernel.now(),
+        )
+        self._data_channel.broadcast(data)
+        return message_id
+
+    def set_coordinator(self, coordinator_site: SiteId) -> None:
+        """Promote a new coordinator (after the previous one crashed)."""
+        self.coordinator_site = coordinator_site
+        if self.is_coordinator:
+            # Confirm everything we opt-delivered but never saw confirmed.
+            for message_id in list(self._local_positions):
+                if message_id not in self._ordered_messages:
+                    self._coordinator_handle(message_id)
+
+    @property
+    def is_coordinator(self) -> bool:
+        """Whether this endpoint currently establishes the definitive order."""
+        return self.site_id == self.coordinator_site
+
+    def message(self, message_id: MessageId) -> Optional[BroadcastMessage]:
+        """Return this site's record of ``message_id`` (or ``None``)."""
+        return self._messages.get(message_id)
+
+    def tentative_order(self) -> List[MessageId]:
+        """The local tentative (Opt-delivery) order observed so far."""
+        return list(self.opt_delivery_log)
+
+    def definitive_order(self) -> List[MessageId]:
+        """The definitive (TO-delivery) order observed so far."""
+        return list(self.to_delivery_log)
+
+    # ----------------------------------------------------- data dissemination
+    def _on_data(self, rb_id: MessageId, origin: SiteId, content: Any) -> None:
+        if not isinstance(content, OptimisticData):
+            return
+        message_id = content.message_id
+        record = self._messages.get(message_id)
+        if record is None:
+            record = BroadcastMessage(
+                message_id=message_id,
+                origin=content.origin,
+                payload=content.payload,
+                broadcast_at=content.broadcast_at,
+            )
+            self._messages[message_id] = record
+        else:
+            record.payload = content.payload
+            record.origin = content.origin
+            record.broadcast_at = content.broadcast_at
+        if not record.opt_delivered:
+            local_position = self._next_local_position
+            self._next_local_position += 1
+            self._local_positions[message_id] = local_position
+            record.opt_delivered_at = self.kernel.now()
+            self._emit_opt_deliver(record)
+            if self.ordering_mode == "voting":
+                self._announce(message_id, local_position)
+        if self.is_coordinator:
+            self._coordinator_handle(message_id)
+        self._try_to_deliver()
+
+    # --------------------------------------------------------- coordination
+    def _coordinator_handle(self, message_id: MessageId) -> None:
+        if message_id in self._ordered_messages:
+            return
+        if message_id in self._pending_confirmations:
+            return
+        position = self._next_position_to_assign
+        self._next_position_to_assign += 1
+        if self.ordering_mode == "sequencer":
+            self._release_confirmation(message_id, position)
+            return
+        pending = _PendingConfirmation(message_id=message_id, position=position)
+        pending.announced_positions[self.site_id] = self._local_positions.get(
+            message_id, position
+        )
+        self._pending_confirmations[message_id] = pending
+        self.kernel.schedule(
+            self.voting_timeout,
+            lambda: self._voting_timeout(message_id),
+            label=f"optabcast-voting-timeout:{message_id}",
+        )
+        self._maybe_release(pending)
+
+    def _release_confirmation(self, message_id: MessageId, position: int) -> None:
+        self._ordered_messages.add(message_id)
+        self.stats.control_messages += 1
+        self._order_channel.broadcast(
+            OptimisticOrder(message_id=message_id, position=position)
+        )
+
+    def _voting_timeout(self, message_id: MessageId) -> None:
+        pending = self._pending_confirmations.get(message_id)
+        if pending is None or pending.released:
+            return
+        pending.released = True
+        self.conservative_confirmations += 1
+        self._release_confirmation(message_id, pending.position)
+
+    def _maybe_release(self, pending: _PendingConfirmation) -> None:
+        if pending.released:
+            return
+        expected_sites = [
+            site for site in self.transport.sites() if self.transport.is_site_up(site)
+        ]
+        if not all(site in pending.announced_positions for site in expected_sites):
+            return
+        pending.released = True
+        positions = set(pending.announced_positions.values())
+        if len(positions) == 1 and pending.position in positions:
+            self.fast_path_confirmations += 1
+        else:
+            self.conservative_confirmations += 1
+        self._release_confirmation(pending.message_id, pending.position)
+
+    # ----------------------------------------------------------- announcing
+    def _announce(self, message_id: MessageId, local_position: int) -> None:
+        announce = OptimisticAnnounce(
+            message_id=message_id, site_id=self.site_id, local_position=local_position
+        )
+        self.stats.control_messages += 1
+        self.transport.multicast(self.site_id, announce, kind=OPTIMISTIC_ANNOUNCE_KIND)
+
+    def _on_announce_envelope(self, envelope) -> bool:
+        announce = envelope.payload
+        if not isinstance(announce, OptimisticAnnounce):
+            return False
+        if not self.is_coordinator:
+            return True
+        pending = self._pending_confirmations.get(announce.message_id)
+        if pending is None or pending.released:
+            return True
+        pending.announced_positions[announce.site_id] = announce.local_position
+        self._maybe_release(pending)
+        return True
+
+    # ---------------------------------------------------- definitive delivery
+    def _on_order(self, rb_id: MessageId, origin: SiteId, content: Any) -> None:
+        if not isinstance(content, OptimisticOrder):
+            return
+        if content.position in self._positions:
+            return
+        self._positions[content.position] = content.message_id
+        self._ordered_messages.add(content.message_id)
+        if content.position >= self._next_position_to_assign:
+            self._next_position_to_assign = content.position + 1
+        self._try_to_deliver()
+
+    def _try_to_deliver(self) -> None:
+        while True:
+            message_id = self._positions.get(self._next_position_to_deliver)
+            if message_id is None:
+                return
+            record = self._messages.get(message_id)
+            if record is None or not record.opt_delivered:
+                # Local Order property: a site must Opt-deliver a message
+                # before TO-delivering it.  Wait until the data arrives.
+                return
+            if record.to_delivered:
+                self._next_position_to_deliver += 1
+                continue
+            record.definitive_position = self._next_position_to_deliver
+            record.to_delivered_at = self.kernel.now()
+            if (
+                self._local_positions.get(message_id) is not None
+                and self._local_positions[message_id] != record.definitive_position
+            ):
+                self.stats.out_of_order_to_deliveries += 1
+            self._emit_to_deliver(record)
+            self._next_position_to_deliver += 1

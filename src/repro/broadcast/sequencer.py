@@ -1,0 +1,197 @@
+"""Conservative (non-optimistic) atomic broadcast based on a fixed sequencer.
+
+This is the baseline the paper argues against: messages are delivered to the
+application only once the definitive total order is known, so the
+application pays the full ordering latency before it can start any work.  To
+keep the OTP transaction layer oblivious to which broadcast it runs on, the
+conservative protocol still emits an Opt-deliver event — but it emits it
+immediately before the corresponding TO-deliver, so the tentative order is
+always identical to the definitive order and no optimistic overlap exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..errors import BroadcastError
+from ..network.dispatcher import SiteDispatcher
+from ..network.transport import NetworkTransport
+from ..simulation.kernel import SimulationKernel
+from ..types import MessageId, SiteId
+from .interfaces import AtomicBroadcastEndpoint, BroadcastMessage, next_broadcast_id
+from .reliable import ReliableBroadcast
+
+#: Envelope kinds used by the sequencer protocol.
+SEQUENCER_DATA_KIND = "seqabcast.data"
+SEQUENCER_ORDER_KIND = "seqabcast.order"
+
+
+@dataclass(frozen=True)
+class SequencerData:
+    """Data message disseminated to all sites."""
+
+    message_id: MessageId
+    origin: SiteId
+    payload: Any
+    broadcast_at: float
+
+
+@dataclass(frozen=True)
+class SequencerOrder:
+    """Ordering decision emitted by the sequencer."""
+
+    message_id: MessageId
+    position: int
+
+
+class SequencerAtomicBroadcast(AtomicBroadcastEndpoint):
+    """Per-site endpoint of the conservative sequencer-based atomic broadcast.
+
+    Parameters
+    ----------
+    sequencer_site:
+        The site that assigns definitive positions.  All endpoints of one
+        group must agree on this value.  When the sequencer crashes, the
+        surviving sites can promote a new one with :meth:`set_sequencer`
+        (positions continue from the highest order seen).
+    """
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        transport: NetworkTransport,
+        dispatcher: SiteDispatcher,
+        site_id: SiteId,
+        *,
+        sequencer_site: SiteId,
+        echo_on_first_receipt: bool = False,
+    ) -> None:
+        super().__init__(site_id)
+        self.kernel = kernel
+        self.transport = transport
+        self.sequencer_site = sequencer_site
+        self._data_channel = ReliableBroadcast(
+            kernel,
+            transport,
+            site_id,
+            echo_on_first_receipt=echo_on_first_receipt,
+            kind=SEQUENCER_DATA_KIND,
+        )
+        self._order_channel = ReliableBroadcast(
+            kernel,
+            transport,
+            site_id,
+            echo_on_first_receipt=echo_on_first_receipt,
+            kind=SEQUENCER_ORDER_KIND,
+        )
+        dispatcher.register_kind(SEQUENCER_DATA_KIND, self._data_channel.on_envelope)
+        dispatcher.register_kind(SEQUENCER_ORDER_KIND, self._order_channel.on_envelope)
+        self._data_channel.add_listener(self._on_data)
+        self._order_channel.add_listener(self._on_order)
+        self._messages: Dict[MessageId, BroadcastMessage] = {}
+        self._positions: Dict[int, MessageId] = {}
+        self._next_position_to_assign = 0
+        self._next_position_to_deliver = 0
+
+    # ------------------------------------------------------------------- api
+    def broadcast(self, payload: Any) -> MessageId:
+        """TO-broadcast ``payload`` (paper primitive ``TO-broadcast``)."""
+        message_id = next_broadcast_id(self.site_id)
+        self.stats.broadcasts += 1
+        data = SequencerData(
+            message_id=message_id,
+            origin=self.site_id,
+            payload=payload,
+            broadcast_at=self.kernel.now(),
+        )
+        self._data_channel.broadcast(data)
+        return message_id
+
+    def set_sequencer(self, sequencer_site: SiteId) -> None:
+        """Promote a new sequencer (after the previous one crashed).
+
+        When this endpoint becomes the sequencer it assigns positions to every
+        data message it has received that was never ordered by the previous
+        sequencer, so the protocol keeps making progress after a failover.
+        """
+        self.sequencer_site = sequencer_site
+        if self.is_sequencer:
+            ordered = set(self._positions.values())
+            for message_id in self._messages:
+                if message_id not in ordered:
+                    self._assign_position(message_id)
+
+    @property
+    def is_sequencer(self) -> bool:
+        """Whether this endpoint currently acts as the sequencer."""
+        return self.site_id == self.sequencer_site
+
+    def message(self, message_id: MessageId) -> Optional[BroadcastMessage]:
+        """Return this site's record of ``message_id`` (or ``None``)."""
+        return self._messages.get(message_id)
+
+    # -------------------------------------------------------------- internal
+    def _on_data(self, rb_id: MessageId, origin: SiteId, content: Any) -> None:
+        if not isinstance(content, SequencerData):
+            return
+        record = self._messages.get(content.message_id)
+        if record is None:
+            record = BroadcastMessage(
+                message_id=content.message_id,
+                origin=content.origin,
+                payload=content.payload,
+                broadcast_at=content.broadcast_at,
+            )
+            self._messages[content.message_id] = record
+        else:
+            record.payload = content.payload
+            record.origin = content.origin
+            record.broadcast_at = content.broadcast_at
+        if self.is_sequencer:
+            self._assign_position(content.message_id)
+        self._try_deliver()
+
+    def _assign_position(self, message_id: MessageId) -> None:
+        already_ordered = any(mid == message_id for mid in self._positions.values())
+        if already_ordered:
+            return
+        position = self._next_position_to_assign
+        self._next_position_to_assign += 1
+        self.stats.control_messages += 1
+        self._order_channel.broadcast(
+            SequencerOrder(message_id=message_id, position=position)
+        )
+
+    def _on_order(self, rb_id: MessageId, origin: SiteId, content: Any) -> None:
+        if not isinstance(content, SequencerOrder):
+            return
+        if content.position in self._positions:
+            return
+        self._positions[content.position] = content.message_id
+        if content.position >= self._next_position_to_assign:
+            self._next_position_to_assign = content.position + 1
+        self._try_deliver()
+
+    def _try_deliver(self) -> None:
+        while True:
+            message_id = self._positions.get(self._next_position_to_deliver)
+            if message_id is None:
+                return
+            record = self._messages.get(message_id)
+            if record is None:
+                # The ordering decision arrived before the data message;
+                # wait for the data to show up.
+                return
+            if record.to_delivered:
+                self._next_position_to_deliver += 1
+                continue
+            # Conservative protocol: tentative delivery happens together with
+            # (immediately before) the definitive delivery.
+            now = self.kernel.now()
+            record.definitive_position = self._next_position_to_deliver
+            record.opt_delivered_at = now
+            self._emit_opt_deliver(record)
+            record.to_delivered_at = now
+            self._emit_to_deliver(record)
+            self._next_position_to_deliver += 1

@@ -1,0 +1,238 @@
+"""Cluster facade: the main public entry point of the library.
+
+:class:`ReplicatedDatabase` assembles a complete simulated cluster — kernel,
+network, atomic broadcast endpoints and one :class:`ReplicaManager` per site
+— from a :class:`ClusterConfig`, a stored-procedure registry and the initial
+database contents.  Examples, workloads, benchmarks and the verification
+layer all operate on this facade.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..broadcast.optimistic import OptimisticAtomicBroadcast
+from ..broadcast.sequencer import SequencerAtomicBroadcast
+from ..database.conflict import ConflictClassMap
+from ..database.history import SiteHistory
+from ..database.procedures import ProcedureRegistry
+from ..errors import ReplicationError
+from ..failure.crash import CrashManager
+from ..metrics.collector import MetricsCollector
+from ..network.dispatcher import SiteDispatcher
+from ..network.transport import NetworkTransport
+from ..simulation.kernel import SimulationKernel
+from ..types import ObjectKey, ObjectValue, SiteId, TransactionId
+from .config import BROADCAST_OPTIMISTIC, ClusterConfig
+from .execution import QueryExecution
+from .replica import ReplicaManager
+
+
+class ReplicatedDatabase:
+    """A fully replicated database over atomic broadcast (paper Section 2).
+
+    Parameters
+    ----------
+    config:
+        Cluster-level configuration (site count, broadcast protocol, network
+        model, seeds...).
+    registry:
+        Stored procedures shared by every site.
+    conflict_map:
+        Optional conflict-class/partition descriptions (used by verification
+        and snapshot bookkeeping; procedures carry their own class).
+    initial_data:
+        Initial object values loaded into every replica.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        registry: ProcedureRegistry,
+        *,
+        conflict_map: Optional[ConflictClassMap] = None,
+        initial_data: Optional[Dict[ObjectKey, ObjectValue]] = None,
+    ) -> None:
+        self.config = config
+        self.registry = registry
+        self.conflict_map = conflict_map or ConflictClassMap()
+        self.kernel = SimulationKernel(seed=config.seed)
+        self.transport = NetworkTransport(
+            self.kernel,
+            config.latency_model,
+            loss_probability=config.loss_probability,
+            record_deliveries=config.record_deliveries,
+        )
+        self.crash_manager = CrashManager(self.kernel, self.transport)
+        self.replicas: Dict[SiteId, ReplicaManager] = {}
+        self._dispatchers: Dict[SiteId, SiteDispatcher] = {}
+        self._broadcasts: Dict[SiteId, Any] = {}
+
+        site_ids = config.site_ids()
+        coordinator = site_ids[0]
+        self._current_coordinator = coordinator
+        # Coordinator failover: when the site that establishes the definitive
+        # order crashes, the lowest-id surviving site takes over, and a
+        # recovering site adopts the current coordinator.  Membership changes
+        # are driven by the crash manager (ground truth in the simulation); a
+        # full group-membership/view-change protocol is out of scope — the
+        # failure-detector substrate (:mod:`repro.failure.detector`) shows how
+        # the same decision would be taken from suspicions.
+        self.crash_manager.add_listener(self._on_liveness_change)
+        for site_id in site_ids:
+            dispatcher = SiteDispatcher(self.transport, site_id)
+            self._dispatchers[site_id] = dispatcher
+            if config.broadcast == BROADCAST_OPTIMISTIC:
+                endpoint = OptimisticAtomicBroadcast(
+                    self.kernel,
+                    self.transport,
+                    dispatcher,
+                    site_id,
+                    coordinator_site=coordinator,
+                    ordering_mode=config.ordering_mode,
+                    voting_timeout=config.voting_timeout,
+                    echo_on_first_receipt=config.echo_on_first_receipt,
+                )
+            else:
+                endpoint = SequencerAtomicBroadcast(
+                    self.kernel,
+                    self.transport,
+                    dispatcher,
+                    site_id,
+                    sequencer_site=coordinator,
+                    echo_on_first_receipt=config.echo_on_first_receipt,
+                )
+            self._broadcasts[site_id] = endpoint
+            self.replicas[site_id] = ReplicaManager(
+                self.kernel,
+                site_id,
+                endpoint,
+                registry,
+                self.conflict_map,
+                cpu_count=config.cpu_count,
+                duration_scale=config.duration_scale,
+                initial_data=dict(initial_data or {}),
+            )
+
+    # ------------------------------------------------------------- accessors
+    def site_ids(self) -> List[SiteId]:
+        """Return the identifiers of all sites."""
+        return list(self.replicas.keys())
+
+    def replica(self, site_id: SiteId) -> ReplicaManager:
+        """Return the replica manager of ``site_id``."""
+        try:
+            return self.replicas[site_id]
+        except KeyError:
+            raise ReplicationError(f"unknown site {site_id!r}") from None
+
+    def broadcast_endpoint(self, site_id: SiteId):
+        """Return the atomic broadcast endpoint of ``site_id``."""
+        return self._broadcasts[site_id]
+
+    def coordinator_site(self) -> SiteId:
+        """Return the site currently acting as sequencer/coordinator."""
+        return self._current_coordinator
+
+    def _on_liveness_change(self, site_id: SiteId, up: bool) -> None:
+        """Promote a new coordinator on crash; re-point recovering sites."""
+        if not up and site_id == self._current_coordinator:
+            survivors = [
+                candidate
+                for candidate in self.site_ids()
+                if self.crash_manager.is_up(candidate)
+            ]
+            if not survivors:
+                return
+            self._current_coordinator = survivors[0]
+            for endpoint in self._broadcasts.values():
+                self._point_endpoint_at_coordinator(endpoint)
+        elif up:
+            self._point_endpoint_at_coordinator(self._broadcasts[site_id])
+
+    def _point_endpoint_at_coordinator(self, endpoint) -> None:
+        if isinstance(endpoint, OptimisticAtomicBroadcast):
+            endpoint.set_coordinator(self._current_coordinator)
+        else:
+            endpoint.set_sequencer(self._current_coordinator)
+
+    # --------------------------------------------------------------- clients
+    def submit(
+        self,
+        site_id: SiteId,
+        procedure_name: str,
+        parameters: Optional[Dict[str, Any]] = None,
+    ) -> TransactionId:
+        """Submit an update transaction at ``site_id``."""
+        return self.replica(site_id).submit_transaction(procedure_name, parameters)
+
+    def submit_query(
+        self,
+        site_id: SiteId,
+        procedure_name: str,
+        parameters: Optional[Dict[str, Any]] = None,
+    ) -> QueryExecution:
+        """Submit a read-only query at ``site_id`` (executed locally)."""
+        return self.replica(site_id).submit_query(procedure_name, parameters)
+
+    # ------------------------------------------------------------ simulation
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Advance the simulation (see :meth:`SimulationKernel.run`)."""
+        return self.kernel.run(until=until, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run until no scheduled events remain."""
+        return self.kernel.run_until_idle(max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time of the cluster."""
+        return self.kernel.now()
+
+    # ------------------------------------------------------------ inspection
+    def histories(self) -> Dict[SiteId, SiteHistory]:
+        """Return the commit history of every site."""
+        return {site_id: replica.history for site_id, replica in self.replicas.items()}
+
+    def committed_counts(self) -> Dict[SiteId, int]:
+        """Number of committed update transactions per site."""
+        return {site_id: replica.committed_count() for site_id, replica in self.replicas.items()}
+
+    def total_reorder_aborts(self) -> int:
+        """Total CC8 abort/reschedule events across all sites."""
+        return sum(replica.reorder_abort_count() for replica in self.replicas.values())
+
+    def metrics_by_site(self) -> Dict[SiteId, MetricsCollector]:
+        """Return the metrics collector of every replica."""
+        return {site_id: replica.metrics for site_id, replica in self.replicas.items()}
+
+    def all_client_latencies(self) -> List[float]:
+        """Client-observed commit latencies across every site."""
+        latencies: List[float] = []
+        for replica in self.replicas.values():
+            latencies.extend(replica.client_latencies())
+        return latencies
+
+    def check_scheduler_invariants(self) -> None:
+        """Check class-queue invariants at every site (raises on violation)."""
+        for replica in self.replicas.values():
+            replica.scheduler.check_invariants()
+
+    def database_divergence(self) -> Dict[ObjectKey, Dict[SiteId, ObjectValue]]:
+        """Return objects whose latest committed value differs across sites.
+
+        An empty result means all replicas converged to identical contents.
+        """
+        contents = {
+            site_id: replica.database_contents()
+            for site_id, replica in self.replicas.items()
+        }
+        keys = set()
+        for values in contents.values():
+            keys.update(values)
+        divergent: Dict[ObjectKey, Dict[SiteId, ObjectValue]] = {}
+        for key in sorted(keys):
+            observed = {site_id: contents[site_id].get(key) for site_id in contents}
+            if len({repr(value) for value in observed.values()}) > 1:
+                divergent[key] = observed
+        return divergent

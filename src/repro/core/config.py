@@ -1,0 +1,81 @@
+"""Configuration of a replicated database cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ReplicationError
+from ..network.latency import LanMulticastLatency, LatencyModel
+
+#: Broadcast protocol choices for the cluster.
+BROADCAST_OPTIMISTIC = "optimistic"
+BROADCAST_CONSERVATIVE = "conservative"
+BROADCAST_CHOICES = (BROADCAST_OPTIMISTIC, BROADCAST_CONSERVATIVE)
+
+
+@dataclass
+class ClusterConfig:
+    """Static configuration of a simulated replicated database cluster.
+
+    Attributes
+    ----------
+    site_count:
+        Number of replica sites (the paper's experiment uses 4).
+    seed:
+        Master seed for all randomness (network jitter, execution times,
+        workload sampling when the workload shares the kernel).
+    broadcast:
+        ``"optimistic"`` for the paper's atomic broadcast with optimistic
+        delivery, ``"conservative"`` for the sequencer baseline that only
+        delivers in definitive order.
+    ordering_mode:
+        Definitive-order engine of the optimistic broadcast: ``"sequencer"``
+        or ``"voting"`` (see :mod:`repro.broadcast.optimistic`).
+    latency_model:
+        Network latency model; defaults to the LAN multicast model used for
+        the Figure 1 reproduction.
+    loss_probability:
+        Probability that an individual envelope transmission is lost (it is
+        transparently retransmitted).
+    cpu_count:
+        Per-site bound on concurrently executing transactions (``None`` =
+        unbounded).
+    duration_scale:
+        Multiplier on stored-procedure execution times; used to sweep the
+        execution-time/ordering-delay ratio.
+    voting_timeout:
+        Timeout of the voting ordering mode.
+    echo_on_first_receipt:
+        Whether reliable broadcast echoes messages (needed only when crashes
+        are injected mid-multicast).
+    record_deliveries:
+        Whether the transport keeps a full delivery log (needed by the
+        spontaneous-order analysis, costs memory in long runs).
+    """
+
+    site_count: int = 4
+    seed: int = 0
+    broadcast: str = BROADCAST_OPTIMISTIC
+    ordering_mode: str = "sequencer"
+    latency_model: Optional[LatencyModel] = None
+    loss_probability: float = 0.0
+    cpu_count: Optional[int] = None
+    duration_scale: float = 1.0
+    voting_timeout: float = 0.010
+    echo_on_first_receipt: bool = False
+    record_deliveries: bool = False
+
+    def __post_init__(self) -> None:
+        if self.site_count < 1:
+            raise ReplicationError("a cluster needs at least one site")
+        if self.broadcast not in BROADCAST_CHOICES:
+            raise ReplicationError(
+                f"unknown broadcast {self.broadcast!r}; expected one of {BROADCAST_CHOICES}"
+            )
+        if self.latency_model is None:
+            self.latency_model = LanMulticastLatency()
+
+    def site_ids(self) -> list:
+        """Return the identifiers of the cluster sites: ``N1 .. Nn``."""
+        return [f"N{index + 1}" for index in range(self.site_count)]

@@ -1,0 +1,273 @@
+"""Execution engine: runs stored procedures with simulated service times.
+
+The OTP scheduler submits at most one transaction per conflict class at a
+time; the engine evaluates the procedure body against a private workspace
+(deferred updates) and signals completion after a sampled execution time.
+An optional CPU model limits how many transactions can make progress
+concurrently on one site, which lets the benchmarks show saturation effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..database.procedures import ProcedureRegistry, StoredProcedure, TransactionContext
+from ..database.storage import MultiVersionStore
+from ..database.transaction import Transaction
+from ..errors import SchedulerError
+from ..simulation.events import Event
+from ..simulation.kernel import SimulationKernel
+from ..simulation.randomness import RandomStream
+from ..types import SiteId, TransactionId
+
+#: Called when an execution attempt of a transaction completes.
+CompletionCallback = Callable[[Transaction], None]
+
+
+@dataclass
+class _RunningExecution:
+    """Bookkeeping for one in-flight execution attempt."""
+
+    transaction: Transaction
+    completion_event: Optional[Event]
+    on_complete: CompletionCallback
+    duration: float
+
+
+@dataclass
+class _QueuedExecution:
+    """An execution waiting for a free CPU slot."""
+
+    transaction: Transaction
+    on_complete: CompletionCallback
+
+
+class ExecutionEngine:
+    """Per-site stored-procedure execution engine.
+
+    Parameters
+    ----------
+    cpu_count:
+        Maximum number of transactions executing concurrently at this site;
+        ``None`` means unbounded (the default, matching the paper's model in
+        which execution time is independent of concurrency).
+    duration_scale:
+        Multiplier applied to every sampled execution time; benchmarks use it
+        to sweep the ratio between transaction execution time and the atomic
+        broadcast ordering delay (claim C1).
+    """
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        store: MultiVersionStore,
+        registry: ProcedureRegistry,
+        site_id: SiteId,
+        *,
+        cpu_count: Optional[int] = None,
+        duration_scale: float = 1.0,
+    ) -> None:
+        if cpu_count is not None and cpu_count <= 0:
+            raise SchedulerError("cpu_count must be positive (or None for unbounded)")
+        if duration_scale < 0.0:
+            raise SchedulerError("duration_scale cannot be negative")
+        self.kernel = kernel
+        self.store = store
+        self.registry = registry
+        self.site_id = site_id
+        self.cpu_count = cpu_count
+        self.duration_scale = duration_scale
+        self._duration_stream: RandomStream = kernel.random.stream(
+            f"execution.duration.{site_id}"
+        )
+        self._running: Dict[TransactionId, _RunningExecution] = {}
+        self._cpu_queue: List[_QueuedExecution] = []
+        self.executions_started = 0
+        self.executions_completed = 0
+        self.executions_cancelled = 0
+
+    # ------------------------------------------------------------------- api
+    def submit(self, transaction: Transaction, on_complete: CompletionCallback) -> None:
+        """Start executing ``transaction``; ``on_complete`` fires when done.
+
+        The request is queued when all CPU slots are busy.
+        """
+        if self.is_submitted(transaction.transaction_id):
+            raise SchedulerError(
+                f"{transaction.transaction_id} is already executing or queued at {self.site_id}"
+            )
+        if self.cpu_count is not None and len(self._running) >= self.cpu_count:
+            self._cpu_queue.append(
+                _QueuedExecution(transaction=transaction, on_complete=on_complete)
+            )
+            return
+        self._start(transaction, on_complete)
+
+    def cancel(self, transaction: Transaction) -> bool:
+        """Cancel the in-flight or queued execution of ``transaction`` (CC8 abort).
+
+        Returns whether anything was cancelled.
+        """
+        running = self._running.pop(transaction.transaction_id, None)
+        if running is not None:
+            if running.completion_event is not None:
+                self.kernel.cancel(running.completion_event)
+            self.executions_cancelled += 1
+            self._dispatch_queued()
+            return True
+        for index, queued in enumerate(self._cpu_queue):
+            if queued.transaction.transaction_id == transaction.transaction_id:
+                del self._cpu_queue[index]
+                self.executions_cancelled += 1
+                return True
+        return False
+
+    def is_executing(self, transaction_id: TransactionId) -> bool:
+        """Whether the transaction currently occupies a CPU slot."""
+        return transaction_id in self._running
+
+    def is_submitted(self, transaction_id: TransactionId) -> bool:
+        """Whether the transaction is running or waiting for a CPU slot."""
+        if transaction_id in self._running:
+            return True
+        return any(
+            queued.transaction.transaction_id == transaction_id
+            for queued in self._cpu_queue
+        )
+
+    @property
+    def running_count(self) -> int:
+        """Number of transactions currently executing."""
+        return len(self._running)
+
+    @property
+    def queued_count(self) -> int:
+        """Number of transactions waiting for a CPU slot."""
+        return len(self._cpu_queue)
+
+    # -------------------------------------------------------------- internal
+    def _start(self, transaction: Transaction, on_complete: CompletionCallback) -> None:
+        procedure = self.registry.get(transaction.request.procedure_name)
+        transaction.begin_execution(self.kernel.now())
+        self.executions_started += 1
+
+        # Evaluate the procedure body now: reads observe the committed state
+        # as of the start of the execution attempt, writes go to the private
+        # workspace.  The simulated service time models how long the real
+        # execution would occupy the database engine.
+        context = TransactionContext(self.store)
+        result = procedure.body(context, transaction.request.parameters)
+        transaction.workspace = dict(context.workspace)
+        transaction.read_set = set(context.read_set)
+
+        duration = procedure.sample_duration(
+            transaction.request.parameters, self._duration_stream
+        ) * self.duration_scale
+        running = _RunningExecution(
+            transaction=transaction,
+            completion_event=None,
+            on_complete=on_complete,
+            duration=duration,
+        )
+        self._running[transaction.transaction_id] = running
+        running.completion_event = self.kernel.schedule(
+            duration,
+            lambda: self._complete(transaction.transaction_id, result),
+            label=f"exec-complete:{transaction.transaction_id}@{self.site_id}",
+        )
+
+    def _complete(self, transaction_id: TransactionId, result: object) -> None:
+        running = self._running.pop(transaction_id, None)
+        if running is None:
+            # The execution was cancelled between scheduling and firing.
+            return
+        transaction = running.transaction
+        transaction.complete_execution(self.kernel.now(), result)
+        self.executions_completed += 1
+        self._dispatch_queued()
+        running.on_complete(transaction)
+
+    def _dispatch_queued(self) -> None:
+        while self._cpu_queue and (
+            self.cpu_count is None or len(self._running) < self.cpu_count
+        ):
+            queued = self._cpu_queue.pop(0)
+            self._start(queued.transaction, queued.on_complete)
+
+
+@dataclass
+class QueryExecution:
+    """Bookkeeping of one locally executed read-only query."""
+
+    query_id: str
+    procedure_name: str
+    query_index: float
+    started_at: float
+    completed_at: Optional[float] = None
+    result: object = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Response time of the query (``None`` while still running)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+class QueryEngine:
+    """Executes read-only queries locally over consistent snapshots (Section 5)."""
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        store: MultiVersionStore,
+        registry: ProcedureRegistry,
+        site_id: SiteId,
+        *,
+        duration_scale: float = 1.0,
+    ) -> None:
+        self.kernel = kernel
+        self.store = store
+        self.registry = registry
+        self.site_id = site_id
+        self.duration_scale = duration_scale
+        self._duration_stream = kernel.random.stream(f"query.duration.{site_id}")
+        self._query_counter = 0
+        self.completed: List[QueryExecution] = []
+
+    def submit(
+        self,
+        procedure: StoredProcedure,
+        parameters: Dict[str, object],
+        query_index: float,
+        on_complete: Callable[[QueryExecution], None],
+    ) -> QueryExecution:
+        """Run a query against the snapshot at ``query_index``."""
+        if not procedure.is_query:
+            raise SchedulerError(
+                f"procedure {procedure.name!r} is an update transaction, not a query"
+            )
+        self._query_counter += 1
+        execution = QueryExecution(
+            query_id=f"Q:{self.site_id}:{self._query_counter}",
+            procedure_name=procedure.name,
+            query_index=query_index,
+            started_at=self.kernel.now(),
+        )
+        context = TransactionContext(
+            self.store, snapshot_index=query_index, read_only=True
+        )
+        result = procedure.body(context, parameters)
+        duration = (
+            procedure.sample_duration(parameters, self._duration_stream) * self.duration_scale
+        )
+
+        def finish() -> None:
+            execution.completed_at = self.kernel.now()
+            execution.result = result
+            self.completed.append(execution)
+            on_complete(execution)
+
+        self.kernel.schedule(duration, finish, label=f"query-complete:{execution.query_id}")
+        return execution

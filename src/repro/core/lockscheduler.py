@@ -1,0 +1,278 @@
+"""Fine-granularity (per-object) optimistic transaction processing.
+
+Section 2.3 of the paper notes that the conflict-class queues are a
+simplified version of the lock tables used in real database systems, and
+points to the companion technical report [13] for solutions using finer
+granularity locking; Section 6 lists the generalisation as ongoing work.
+This module provides that extension: the OTP idea applied to *per-object*
+queues instead of per-class queues.
+
+The model stays the one of stored procedures: because procedures are
+predefined, every transaction can declare the set of objects it accesses
+when it is submitted (predeclared locking), so a transaction enters the queue
+of each declared object atomically at Opt-delivery.  The scheduler then runs
+exactly the same three modules as the class-queue scheduler, with the CC
+steps applied to every queue the transaction participates in:
+
+* a transaction starts executing when it is at the head of *all* its queues;
+* it commits once it is executed, TO-delivered and at the head of all its
+  queues;
+* on TO-delivery, pending transactions that were tentatively ordered before
+  it in *any* shared queue are undone (if they started executing) and the
+  TO-delivered transaction is rescheduled before the first pending entry of
+  each of its queues (the per-object generalisation of CC7-CC10).
+
+Because every transaction enqueues on all its objects atomically in delivery
+order, the positions across queues are always consistent with a single total
+order (tentative for pending transactions, definitive for committable ones),
+so the scheme is deadlock-free — the same argument as footnote 3 of the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..database.transaction import DeliveryState, ExecutionState, Transaction
+from ..errors import SchedulerError
+from ..metrics.collector import MetricsCollector
+from ..simulation.kernel import SimulationKernel
+from ..types import ObjectKey, TransactionId
+from .execution import ExecutionEngine
+
+#: Returns the set of objects a transaction will access (predeclared locking).
+KeysResolver = Callable[[Transaction], Sequence[ObjectKey]]
+
+#: Invoked when the scheduler decides to commit a transaction.
+CommitCallback = Callable[[Transaction], None]
+
+
+@dataclass
+class ObjectQueue:
+    """FIFO queue of the transactions that declared access to one object."""
+
+    key: ObjectKey
+    entries: List[Transaction] = field(default_factory=list)
+
+    def first(self) -> Optional[Transaction]:
+        """Return the transaction at the head of the queue (or ``None``)."""
+        return self.entries[0] if self.entries else None
+
+    def append(self, transaction: Transaction) -> None:
+        """Append a newly Opt-delivered transaction."""
+        if transaction in self.entries:
+            raise SchedulerError(
+                f"{transaction.transaction_id} already queued on object {self.key!r}"
+            )
+        self.entries.append(transaction)
+
+    def remove(self, transaction: Transaction) -> None:
+        """Remove a committed transaction (must be at the head)."""
+        if not self.entries or self.entries[0] is not transaction:
+            raise SchedulerError(
+                f"only the head of the queue for {self.key!r} can be removed"
+            )
+        self.entries.pop(0)
+
+    def reschedule_before_pending(self, transaction: Transaction) -> None:
+        """Move a committable transaction before the first pending entry (CC10)."""
+        if transaction not in self.entries:
+            raise SchedulerError(
+                f"{transaction.transaction_id} is not queued on object {self.key!r}"
+            )
+        self.entries.remove(transaction)
+        target = len(self.entries)
+        for index, entry in enumerate(self.entries):
+            if entry.delivery_state is DeliveryState.PENDING:
+                target = index
+                break
+        self.entries.insert(target, transaction)
+
+    def pending_ahead_of(self, transaction: Transaction) -> List[Transaction]:
+        """Return the pending transactions queued before ``transaction``."""
+        ahead: List[Transaction] = []
+        for entry in self.entries:
+            if entry is transaction:
+                break
+            if entry.delivery_state is DeliveryState.PENDING:
+                ahead.append(entry)
+        return ahead
+
+    def committable_before_pending(self) -> bool:
+        """Invariant: committable entries always precede pending ones."""
+        seen_pending = False
+        for entry in self.entries:
+            if entry.delivery_state is DeliveryState.PENDING:
+                seen_pending = True
+            elif seen_pending:
+                return False
+        return True
+
+
+class LockBasedOTPScheduler:
+    """OTP scheduler using per-object queues (predeclared fine-grained locks)."""
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        engine: ExecutionEngine,
+        *,
+        keys_of: KeysResolver,
+        commit_callback: CommitCallback,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.engine = engine
+        self.keys_of = keys_of
+        self._commit_callback = commit_callback
+        self.metrics = metrics or MetricsCollector("lock-otp-scheduler")
+        self._queues: Dict[ObjectKey, ObjectQueue] = {}
+        self._declared_keys: Dict[TransactionId, List[ObjectKey]] = {}
+        self._by_id: Dict[TransactionId, Transaction] = {}
+
+    # ----------------------------------------------------------------- state
+    def queue_for(self, key: ObjectKey) -> ObjectQueue:
+        """Return (creating if necessary) the queue of object ``key``."""
+        if key not in self._queues:
+            self._queues[key] = ObjectQueue(key=key)
+        return self._queues[key]
+
+    def declared_keys(self, transaction: Transaction) -> List[ObjectKey]:
+        """Return the objects ``transaction`` declared (cached per transaction)."""
+        return list(self._declared_keys.get(transaction.transaction_id, []))
+
+    def holds_all_heads(self, transaction: Transaction) -> bool:
+        """Whether the transaction is at the head of every queue it declared."""
+        return all(
+            self.queue_for(key).first() is transaction
+            for key in self._declared_keys[transaction.transaction_id]
+        )
+
+    # ------------------------------------------------- Serialization module
+    def on_opt_deliver(self, transaction: Transaction) -> None:
+        """S1-S5 generalised: enqueue on every declared object, run if possible."""
+        if transaction.transaction_id in self._by_id:
+            raise SchedulerError(
+                f"{transaction.transaction_id} was opt-delivered twice to the scheduler"
+            )
+        keys = sorted(set(self.keys_of(transaction)))
+        if not keys:
+            raise SchedulerError(
+                f"{transaction.transaction_id} declared no objects; predeclared "
+                "locking requires a non-empty access set"
+            )
+        self._by_id[transaction.transaction_id] = transaction
+        self._declared_keys[transaction.transaction_id] = keys
+        transaction.mark_opt_delivered(self.kernel.now())
+        for key in keys:
+            self.queue_for(key).append(transaction)
+        self.metrics.increment("transactions_opt_delivered")
+        self._maybe_submit(transaction)
+
+    # ----------------------------------------------------- Execution module
+    def on_execution_complete(self, transaction: Transaction) -> None:
+        """E1-E6 generalised: commit if committable, otherwise stay executed."""
+        self.metrics.increment("executions_completed")
+        if transaction.delivery_state is DeliveryState.COMMITTABLE:
+            self._commit(transaction)
+
+    # --------------------------------------------- Correctness-Check module
+    def on_to_deliver(self, transaction_id: TransactionId, global_index: int) -> None:
+        """CC1-CC14 generalised to every queue the transaction declared."""
+        transaction = self._by_id.get(transaction_id)
+        if transaction is None:
+            raise SchedulerError(
+                f"TO-delivered transaction {transaction_id} was never opt-delivered"
+            )
+        if transaction.is_committed:
+            raise SchedulerError(f"{transaction_id} was TO-delivered after committing")
+        transaction.global_index = global_index
+        self.metrics.increment("transactions_to_delivered")
+
+        if transaction.execution_state is ExecutionState.EXECUTED and self.holds_all_heads(
+            transaction
+        ):
+            transaction.mark_committable(self.kernel.now())
+            self._commit(transaction)
+            return
+
+        transaction.mark_committable(self.kernel.now())
+        keys = self._declared_keys[transaction_id]
+        # CC7-CC8 per object: undo pending transactions tentatively ordered
+        # before this one on any shared object.
+        for key in keys:
+            for blocker in self.queue_for(key).pending_ahead_of(transaction):
+                self._abort_for_reordering(blocker)
+        # CC10 per object: move before the first pending entry of each queue.
+        for key in keys:
+            self.queue_for(key).reschedule_before_pending(transaction)
+        # CC11-CC12: run it if it now heads all its queues.
+        self._maybe_submit(transaction)
+
+    # ---------------------------------------------------------------- helpers
+    def _maybe_submit(self, transaction: Transaction) -> None:
+        if transaction.is_committed or transaction.executing:
+            return
+        if self.engine.is_submitted(transaction.transaction_id):
+            return
+        if transaction.execution_state is ExecutionState.EXECUTED:
+            # Already executed (and not aborted since); commit is triggered by
+            # TO-delivery or by queue heads freeing up.
+            if (
+                transaction.delivery_state is DeliveryState.COMMITTABLE
+                and self.holds_all_heads(transaction)
+            ):
+                self._commit(transaction)
+            return
+        if self.holds_all_heads(transaction):
+            self.metrics.increment("executions_submitted")
+            self.engine.submit(transaction, self.on_execution_complete)
+
+    def _abort_for_reordering(self, transaction: Transaction) -> None:
+        if transaction.executing:
+            self.engine.cancel(transaction)
+            transaction.abort_for_reordering()
+            self.metrics.increment("reorder_aborts")
+        elif transaction.execution_state is ExecutionState.EXECUTED:
+            transaction.abort_for_reordering()
+            self.metrics.increment("reorder_aborts")
+        # A pending transaction that never started executing keeps its place;
+        # there is nothing to undo.
+
+    def _commit(self, transaction: Transaction) -> None:
+        if not self.holds_all_heads(transaction):
+            # Not at the head of every queue yet: the commit will be retried
+            # when the blocking transactions commit and are removed.
+            return
+        transaction.mark_committed(self.kernel.now())
+        keys = self._declared_keys.pop(transaction.transaction_id, [])
+        for key in keys:
+            self.queue_for(key).remove(transaction)
+        self._by_id.pop(transaction.transaction_id, None)
+        self.metrics.increment("transactions_committed")
+        self._commit_callback(transaction)
+        # Successors on any of the freed objects may now be runnable or even
+        # committable.
+        candidates = []
+        for key in keys:
+            head = self.queue_for(key).first()
+            if head is not None:
+                candidates.append(head)
+        for candidate in candidates:
+            self._maybe_submit(candidate)
+
+    # ------------------------------------------------------------ invariants
+    def check_invariants(self) -> None:
+        """Raise :class:`SchedulerError` on violated per-object queue invariants."""
+        for key, queue in self._queues.items():
+            if not queue.committable_before_pending():
+                raise SchedulerError(
+                    f"object queue {key!r} has a pending entry before a committable one"
+                )
+        for transaction_id, keys in self._declared_keys.items():
+            transaction = self._by_id[transaction_id]
+            if transaction.executing and not self.holds_all_heads(transaction):
+                raise SchedulerError(
+                    f"{transaction_id} is executing without holding all its heads"
+                )

@@ -1,0 +1,286 @@
+"""Per-site replica manager.
+
+The replica manager glues together, for one site, the components of the
+paper's execution model (Figure 3): the communication manager (an atomic
+broadcast endpoint delivering messages optimistically and definitively) and
+the transaction manager (the OTP scheduler, the execution engine, the
+multi-version store and the snapshot-based query engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..broadcast.interfaces import AtomicBroadcastEndpoint, BroadcastMessage
+from ..database.conflict import ConflictClassMap
+from ..database.history import CommittedTransaction, SiteHistory
+from ..database.procedures import ProcedureRegistry, StoredProcedure
+from ..database.recovery import RedoLog
+from ..database.snapshots import SnapshotManager
+from ..database.storage import MultiVersionStore
+from ..database.transaction import (
+    Transaction,
+    TransactionRequest,
+    next_transaction_id,
+)
+from ..errors import DatabaseError, ReplicationError
+from ..metrics.collector import MetricsCollector
+from ..simulation.kernel import SimulationKernel
+from ..types import ObjectKey, ObjectValue, SiteId, TransactionId
+from .execution import ExecutionEngine, QueryEngine, QueryExecution
+
+#: Called at the origin site when one of its own transactions commits there.
+ClientCompletionCallback = Callable[[Transaction], None]
+
+
+@dataclass
+class SubmittedRequest:
+    """Client-side bookkeeping of a submitted update transaction."""
+
+    request: TransactionRequest
+    submitted_at: float
+    committed_at: Optional[float] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Client-observed commit latency at the origin site."""
+        if self.committed_at is None:
+            return None
+        return self.committed_at - self.submitted_at
+
+
+class ReplicaManager:
+    """One replica site: communication manager + transaction manager."""
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        site_id: SiteId,
+        broadcast: AtomicBroadcastEndpoint,
+        registry: ProcedureRegistry,
+        conflict_map: ConflictClassMap,
+        *,
+        cpu_count: Optional[int] = None,
+        duration_scale: float = 1.0,
+        initial_data: Optional[Dict[ObjectKey, ObjectValue]] = None,
+    ) -> None:
+        from .scheduler import OTPScheduler  # local import to avoid a cycle
+
+        self.kernel = kernel
+        self.site_id = site_id
+        self.broadcast = broadcast
+        self.registry = registry
+        self.conflict_map = conflict_map
+        self.metrics = MetricsCollector(f"replica:{site_id}")
+        self.store = MultiVersionStore()
+        if initial_data:
+            self.store.load_many(initial_data)
+        self.snapshot_manager = SnapshotManager(self.store)
+        self.redo_log = RedoLog()
+        self.history = SiteHistory(site_id)
+        self.engine = ExecutionEngine(
+            kernel,
+            self.store,
+            registry,
+            site_id,
+            cpu_count=cpu_count,
+            duration_scale=duration_scale,
+        )
+        self.query_engine = QueryEngine(
+            kernel, self.store, registry, site_id, duration_scale=duration_scale
+        )
+        self.scheduler = OTPScheduler(
+            kernel,
+            self.engine,
+            commit_callback=self._on_commit,
+            metrics=self.metrics,
+        )
+        self.submitted: Dict[TransactionId, SubmittedRequest] = {}
+        self.queries: List[QueryExecution] = []
+        self._client_listeners: List[ClientCompletionCallback] = []
+        self._commit_listeners: List[ClientCompletionCallback] = []
+        broadcast.add_opt_listener(self._on_opt_deliver)
+        broadcast.add_to_listener(self._on_to_deliver)
+
+    # ------------------------------------------------------------- listeners
+    def add_client_listener(self, listener: ClientCompletionCallback) -> None:
+        """Register a callback fired when a locally submitted transaction commits."""
+        self._client_listeners.append(listener)
+
+    def add_commit_listener(self, listener: ClientCompletionCallback) -> None:
+        """Register a callback fired on every local commit (any origin)."""
+        self._commit_listeners.append(listener)
+
+    # --------------------------------------------------------------- clients
+    def submit_transaction(
+        self, procedure_name: str, parameters: Optional[Dict[str, Any]] = None
+    ) -> TransactionId:
+        """Submit an update transaction at this site.
+
+        Following the replica-control scheme of Section 2.4 the request is
+        TO-broadcast to every site; the transaction identifier is returned
+        immediately and the commit can be observed through
+        :meth:`add_client_listener` or :attr:`submitted`.
+        """
+        parameters = dict(parameters or {})
+        procedure = self.registry.get(procedure_name)
+        if procedure.is_query:
+            raise ReplicationError(
+                f"procedure {procedure_name!r} is a query; use submit_query instead"
+            )
+        transaction_id = next_transaction_id(self.site_id)
+        request = TransactionRequest(
+            transaction_id=transaction_id,
+            procedure_name=procedure_name,
+            parameters=parameters,
+            conflict_class=procedure.resolve_conflict_class(parameters),
+            origin_site=self.site_id,
+            submitted_at=self.kernel.now(),
+            is_query=False,
+        )
+        self.submitted[transaction_id] = SubmittedRequest(
+            request=request, submitted_at=self.kernel.now()
+        )
+        self.metrics.increment("transactions_submitted")
+        self.broadcast.broadcast(request)
+        return transaction_id
+
+    def submit_query(
+        self,
+        procedure_name: str,
+        parameters: Optional[Dict[str, Any]] = None,
+        *,
+        on_complete: Optional[Callable[[QueryExecution], None]] = None,
+    ) -> QueryExecution:
+        """Execute a read-only query locally over a consistent snapshot (Section 5)."""
+        parameters = dict(parameters or {})
+        procedure = self.registry.get(procedure_name)
+        if not procedure.is_query:
+            raise ReplicationError(
+                f"procedure {procedure_name!r} is an update transaction; "
+                "use submit_transaction instead"
+            )
+        query_index = self.snapshot_manager.next_query_index()
+        self.metrics.increment("queries_submitted")
+
+        def finished(execution: QueryExecution) -> None:
+            self.metrics.increment("queries_completed")
+            if execution.latency is not None:
+                self.metrics.record_latency("query_latency", execution.latency)
+            if on_complete is not None:
+                on_complete(execution)
+
+        execution = self.query_engine.submit(procedure, parameters, query_index, finished)
+        self.queries.append(execution)
+        return execution
+
+    # ------------------------------------------------------ broadcast events
+    def _on_opt_deliver(self, message: BroadcastMessage) -> None:
+        request = message.payload
+        if not isinstance(request, TransactionRequest):
+            return
+        transaction = Transaction(request=request, site_id=self.site_id)
+        self.metrics.increment("messages_opt_delivered")
+        self.scheduler.on_opt_deliver(transaction)
+
+    def _on_to_deliver(self, message: BroadcastMessage) -> None:
+        request = message.payload
+        if not isinstance(request, TransactionRequest):
+            return
+        if message.definitive_position is None:
+            raise ReplicationError(
+                f"TO-delivered message {message.message_id} carries no definitive position"
+            )
+        self.metrics.increment("messages_to_delivered")
+        if message.ordering_delay is not None:
+            self.metrics.record_latency("ordering_delay", message.ordering_delay)
+        self.scheduler.on_to_deliver(request.transaction_id, message.definitive_position)
+
+    # ----------------------------------------------------------------- commit
+    def _on_commit(self, transaction: Transaction) -> None:
+        """Install a committed transaction's effects (called by the scheduler)."""
+        if transaction.global_index is None:
+            raise ReplicationError(
+                f"{transaction.transaction_id} committed without a definitive index"
+            )
+        now = self.kernel.now()
+        for key, value in sorted(transaction.workspace.items()):
+            owning_class = self.conflict_map.class_of_key(key)
+            if owning_class is not None and owning_class != transaction.conflict_class:
+                raise ReplicationError(
+                    f"{transaction.transaction_id} (class {transaction.conflict_class}) "
+                    f"wrote {key!r}, which belongs to conflict class {owning_class}; "
+                    "transactions may only update their own partition (paper Section 2.3)"
+                )
+            try:
+                self.store.install(
+                    key,
+                    value,
+                    created_index=transaction.global_index,
+                    created_by=transaction.transaction_id,
+                    created_at=now,
+                )
+            except DatabaseError as error:
+                raise ReplicationError(
+                    f"cannot install write of {key!r} by {transaction.transaction_id}: "
+                    f"{error}. This usually means the object is updated by transactions "
+                    "of different conflict classes, which violates the disjoint-partition "
+                    "assumption of the concurrency-control model (paper Section 2.3)."
+                ) from error
+        self.redo_log.append_commit(
+            transaction.transaction_id, transaction.workspace, transaction.global_index
+        )
+        self.snapshot_manager.advance(transaction.global_index)
+        self.history.record_commit(
+            CommittedTransaction(
+                transaction_id=transaction.transaction_id,
+                conflict_class=transaction.conflict_class,
+                global_index=transaction.global_index,
+                committed_at=now,
+                write_keys=tuple(sorted(transaction.workspace.keys())),
+                read_keys=tuple(sorted(transaction.read_set)),
+            )
+        )
+        self.metrics.increment("commits")
+        if transaction.reorder_aborts:
+            self.metrics.increment("commits_after_reorder")
+        self.metrics.record_latency(
+            "commit_latency_all", now - transaction.request.submitted_at
+        )
+        if transaction.to_delivered_at is not None:
+            self.metrics.record_latency(
+                "to_deliver_to_commit", now - transaction.to_delivered_at
+            )
+        if transaction.opt_delivered_at is not None:
+            self.metrics.record_latency(
+                "opt_deliver_to_commit", now - transaction.opt_delivered_at
+            )
+
+        submitted = self.submitted.get(transaction.transaction_id)
+        if submitted is not None:
+            submitted.committed_at = now
+            self.metrics.record_latency(
+                "client_commit_latency", now - submitted.submitted_at
+            )
+            for listener in self._client_listeners:
+                listener(transaction)
+        for listener in self._commit_listeners:
+            listener(transaction)
+
+    # ------------------------------------------------------------ inspection
+    def committed_count(self) -> int:
+        """Number of update transactions committed at this site."""
+        return len(self.history)
+
+    def reorder_abort_count(self) -> int:
+        """Number of CC8 abort/reschedule events at this site."""
+        return self.metrics.count("reorder_aborts")
+
+    def client_latencies(self) -> List[float]:
+        """Commit latencies observed by clients of this site."""
+        return list(self.metrics.latency("client_commit_latency").samples)
+
+    def database_contents(self) -> Dict[ObjectKey, ObjectValue]:
+        """Latest committed value of every object (for verification/examples)."""
+        return self.store.dump_latest()

@@ -1,0 +1,63 @@
+"""Replicated-database substrate: versioned storage, stored procedures,
+transactions, conflict classes, locks, snapshots, recovery and histories."""
+
+from .conflict import ClassQueue, ConflictClass, ConflictClassMap
+from .history import (
+    CommittedTransaction,
+    ConflictGraph,
+    SiteHistory,
+    history_is_serializable,
+    transactions_conflict,
+)
+from .locks import DeadlockDetected, LockMode, LockRequest, LockTable
+from .objects import ObjectVersion, VersionChain
+from .procedures import (
+    ProcedureRegistry,
+    StoredProcedure,
+    TransactionContext,
+)
+from .recovery import RedoLog, RedoRecord, UndoLog, UndoRecord
+from .snapshots import QuerySnapshot, SnapshotManager
+from .storage import MultiVersionStore, StoreStats
+from .transaction import (
+    DeliveryState,
+    ExecutionState,
+    Transaction,
+    TransactionOutcome,
+    TransactionRequest,
+    next_transaction_id,
+)
+
+__all__ = [
+    "ClassQueue",
+    "ConflictClass",
+    "ConflictClassMap",
+    "CommittedTransaction",
+    "ConflictGraph",
+    "SiteHistory",
+    "history_is_serializable",
+    "transactions_conflict",
+    "DeadlockDetected",
+    "LockMode",
+    "LockRequest",
+    "LockTable",
+    "ObjectVersion",
+    "VersionChain",
+    "ProcedureRegistry",
+    "StoredProcedure",
+    "TransactionContext",
+    "RedoLog",
+    "RedoRecord",
+    "UndoLog",
+    "UndoRecord",
+    "QuerySnapshot",
+    "SnapshotManager",
+    "MultiVersionStore",
+    "StoreStats",
+    "DeliveryState",
+    "ExecutionState",
+    "Transaction",
+    "TransactionOutcome",
+    "TransactionRequest",
+    "next_transaction_id",
+]

@@ -1,0 +1,221 @@
+"""Histories, conflict graphs and serializability (paper Section 2.2).
+
+A history is a partial order over committed transactions that orders all
+conflicting transactions.  A history is serializable when it is conflict
+equivalent to some serial history, i.e. when its conflict graph is acyclic.
+The per-site history recorded here is consumed by the verification layer to
+check 1-copy-serializability across sites (Theorem 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import VerificationError
+from ..types import ConflictClassId, ObjectKey, SiteId, TransactionId
+
+
+@dataclass(frozen=True)
+class CommittedTransaction:
+    """One committed transaction as recorded in a site's history."""
+
+    transaction_id: TransactionId
+    conflict_class: ConflictClassId
+    global_index: int
+    committed_at: float
+    write_keys: Tuple[ObjectKey, ...] = ()
+    read_keys: Tuple[ObjectKey, ...] = ()
+
+
+class SiteHistory:
+    """Commit history of one replica site, in local commit order."""
+
+    def __init__(self, site_id: SiteId) -> None:
+        self.site_id = site_id
+        self._commits: List[CommittedTransaction] = []
+        self._by_id: Dict[TransactionId, CommittedTransaction] = {}
+
+    # --------------------------------------------------------------- recording
+    def record_commit(self, committed: CommittedTransaction) -> None:
+        """Append a committed transaction to the history."""
+        if committed.transaction_id in self._by_id:
+            raise VerificationError(
+                f"{committed.transaction_id} committed twice at site {self.site_id}"
+            )
+        self._commits.append(committed)
+        self._by_id[committed.transaction_id] = committed
+
+    # ---------------------------------------------------------------- queries
+    def committed_transactions(self) -> List[CommittedTransaction]:
+        """Return all committed transactions in local commit order."""
+        return list(self._commits)
+
+    def transaction_ids(self) -> List[TransactionId]:
+        """Return committed transaction ids in local commit order."""
+        return [commit.transaction_id for commit in self._commits]
+
+    def commit_order_of_class(self, conflict_class: ConflictClassId) -> List[TransactionId]:
+        """Return the commit order restricted to one conflict class."""
+        return [
+            commit.transaction_id
+            for commit in self._commits
+            if commit.conflict_class == conflict_class
+        ]
+
+    def classes(self) -> List[ConflictClassId]:
+        """Return the conflict classes appearing in the history."""
+        return sorted({commit.conflict_class for commit in self._commits})
+
+    def get(self, transaction_id: TransactionId) -> Optional[CommittedTransaction]:
+        """Return the record of ``transaction_id`` (or ``None``)."""
+        return self._by_id.get(transaction_id)
+
+    def __len__(self) -> int:
+        return len(self._commits)
+
+    def __contains__(self, transaction_id: TransactionId) -> bool:
+        return transaction_id in self._by_id
+
+
+def transactions_conflict(first: CommittedTransaction, second: CommittedTransaction) -> bool:
+    """Return whether two transactions conflict.
+
+    With the paper's coarse concurrency-control model two update transactions
+    conflict exactly when they belong to the same conflict class.  When
+    fine-granularity read/write sets are recorded, overlapping accesses with
+    at least one write also count as conflicts.
+    """
+    if first.conflict_class == second.conflict_class:
+        return True
+    first_writes = set(first.write_keys)
+    second_writes = set(second.write_keys)
+    if first_writes & second_writes:
+        return True
+    if first_writes & set(second.read_keys):
+        return True
+    if second_writes & set(first.read_keys):
+        return True
+    return False
+
+
+class ConflictGraph:
+    """Directed graph with an edge ``T_i -> T_j`` when ``T_i`` is ordered
+    before ``T_j`` and the two transactions conflict."""
+
+    def __init__(self) -> None:
+        self._edges: Dict[TransactionId, Set[TransactionId]] = {}
+        self._nodes: Set[TransactionId] = set()
+
+    # --------------------------------------------------------------- building
+    def add_node(self, transaction_id: TransactionId) -> None:
+        """Add an isolated node."""
+        self._nodes.add(transaction_id)
+
+    def add_edge(self, before: TransactionId, after: TransactionId) -> None:
+        """Add the edge ``before -> after`` (self-loops are ignored)."""
+        if before == after:
+            return
+        self._nodes.add(before)
+        self._nodes.add(after)
+        self._edges.setdefault(before, set()).add(after)
+
+    def add_history(self, commits: Sequence[CommittedTransaction]) -> None:
+        """Add edges for every ordered pair of conflicting transactions."""
+        for earlier_position, earlier in enumerate(commits):
+            self.add_node(earlier.transaction_id)
+            for later in commits[earlier_position + 1:]:
+                if transactions_conflict(earlier, later):
+                    self.add_edge(earlier.transaction_id, later.transaction_id)
+
+    # ---------------------------------------------------------------- queries
+    def nodes(self) -> Set[TransactionId]:
+        """Return all nodes."""
+        return set(self._nodes)
+
+    def edges(self) -> List[Tuple[TransactionId, TransactionId]]:
+        """Return all edges as ``(before, after)`` pairs."""
+        return [
+            (before, after)
+            for before, afters in sorted(self._edges.items())
+            for after in sorted(afters)
+        ]
+
+    def successors(self, transaction_id: TransactionId) -> Set[TransactionId]:
+        """Return the direct successors of ``transaction_id``."""
+        return set(self._edges.get(transaction_id, set()))
+
+    def find_cycle(self) -> Optional[List[TransactionId]]:
+        """Return one cycle as a list of nodes, or ``None`` when acyclic."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[TransactionId, int] = {node: WHITE for node in self._nodes}
+        parent: Dict[TransactionId, Optional[TransactionId]] = {}
+
+        def visit(start: TransactionId) -> Optional[List[TransactionId]]:
+            stack: List[Tuple[TransactionId, Iterable[TransactionId]]] = [
+                (start, iter(sorted(self._edges.get(start, set()))))
+            ]
+            colour[start] = GREY
+            parent[start] = None
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if colour.get(child, WHITE) == GREY:
+                        cycle = [child, node]
+                        current = parent.get(node)
+                        while current is not None and current != child:
+                            cycle.append(current)
+                            current = parent.get(current)
+                        cycle.append(child)
+                        cycle.reverse()
+                        return cycle
+                    if colour.get(child, WHITE) == WHITE:
+                        colour[child] = GREY
+                        parent[child] = node
+                        stack.append((child, iter(sorted(self._edges.get(child, set())))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+            return None
+
+        for node in sorted(self._nodes):
+            if colour[node] == WHITE:
+                cycle = visit(node)
+                if cycle:
+                    return cycle
+        return None
+
+    def is_acyclic(self) -> bool:
+        """Return whether the graph has no cycle (history is serializable)."""
+        return self.find_cycle() is None
+
+    def topological_order(self) -> List[TransactionId]:
+        """Return a topological order (raises when the graph has a cycle)."""
+        cycle = self.find_cycle()
+        if cycle:
+            raise VerificationError(f"conflict graph is cyclic: {cycle}")
+        in_degree: Dict[TransactionId, int] = {node: 0 for node in self._nodes}
+        for _, afters in self._edges.items():
+            for after in afters:
+                in_degree[after] = in_degree.get(after, 0) + 1
+        ready = sorted(node for node, degree in in_degree.items() if degree == 0)
+        order: List[TransactionId] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for successor in sorted(self._edges.get(node, set())):
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready.append(successor)
+            ready.sort()
+        return order
+
+
+def history_is_serializable(commits: Sequence[CommittedTransaction]) -> bool:
+    """Return whether a single-site history is (conflict-)serializable."""
+    graph = ConflictGraph()
+    graph.add_history(commits)
+    return graph.is_acyclic()

@@ -1,0 +1,257 @@
+"""Fine-granularity two-phase-locking lock table.
+
+Section 2.3 of the paper notes that the class-queue scheme is a simplified
+version of the lock tables used in real database systems, and that the ideas
+carry over to finer-granularity locking (reference [13]).  This module
+provides that substrate: a per-object lock table with shared/exclusive modes,
+FIFO wait queues and wait-for-graph deadlock detection.  It is used by the
+eager-locking baseline and exercised by its own test suite.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..errors import DatabaseError
+from ..types import ObjectKey, TransactionId
+
+
+class LockMode(enum.Enum):
+    """Lock modes supported by the table."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+def _compatible(held: LockMode, requested: LockMode) -> bool:
+    """Classical S/X compatibility matrix."""
+    return held is LockMode.SHARED and requested is LockMode.SHARED
+
+
+@dataclass
+class LockRequest:
+    """A pending or granted lock request."""
+
+    transaction_id: TransactionId
+    mode: LockMode
+    granted: bool = False
+
+
+@dataclass
+class _LockEntry:
+    """Lock state of one object."""
+
+    key: ObjectKey
+    requests: List[LockRequest] = field(default_factory=list)
+
+    def holders(self) -> List[LockRequest]:
+        return [request for request in self.requests if request.granted]
+
+    def waiters(self) -> List[LockRequest]:
+        return [request for request in self.requests if not request.granted]
+
+
+class DeadlockDetected(DatabaseError):
+    """Raised when acquiring a lock would close a cycle in the wait-for graph."""
+
+    def __init__(self, transaction_id: TransactionId, cycle: List[TransactionId]) -> None:
+        super().__init__(f"deadlock involving {transaction_id}: cycle {cycle}")
+        self.transaction_id = transaction_id
+        self.cycle = cycle
+
+
+class LockTable:
+    """Shared/exclusive lock table with FIFO queuing and deadlock detection.
+
+    The table is synchronous: :meth:`acquire` either grants the lock
+    immediately, queues the request (returning ``False``), or raises
+    :class:`DeadlockDetected` if queueing would create a wait-for cycle.
+    Release triggers grant of the next compatible requests and reports which
+    transactions became unblocked so the caller can resume them.
+    """
+
+    def __init__(self, *, detect_deadlocks: bool = True) -> None:
+        self._entries: Dict[ObjectKey, _LockEntry] = {}
+        self._held_by: Dict[TransactionId, Set[ObjectKey]] = {}
+        self.detect_deadlocks = detect_deadlocks
+        self.deadlocks_detected = 0
+        self.lock_waits = 0
+
+    # ----------------------------------------------------------------- state
+    def holders_of(self, key: ObjectKey) -> List[TransactionId]:
+        """Return the transactions currently holding a lock on ``key``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return []
+        return [request.transaction_id for request in entry.holders()]
+
+    def waiting_on(self, key: ObjectKey) -> List[TransactionId]:
+        """Return the transactions queued behind the current holders."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return []
+        return [request.transaction_id for request in entry.waiters()]
+
+    def locks_held_by(self, transaction_id: TransactionId) -> Set[ObjectKey]:
+        """Return the keys on which ``transaction_id`` holds a granted lock."""
+        return set(self._held_by.get(transaction_id, set()))
+
+    def holds(self, transaction_id: TransactionId, key: ObjectKey, mode: LockMode) -> bool:
+        """Return whether the transaction holds ``key`` in at least ``mode``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        for request in entry.holders():
+            if request.transaction_id == transaction_id:
+                if mode is LockMode.SHARED or request.mode is LockMode.EXCLUSIVE:
+                    return True
+        return False
+
+    # --------------------------------------------------------------- acquire
+    def acquire(
+        self, transaction_id: TransactionId, key: ObjectKey, mode: LockMode
+    ) -> bool:
+        """Request a lock; returns True when granted, False when queued."""
+        entry = self._entries.setdefault(key, _LockEntry(key=key))
+
+        for request in entry.requests:
+            if request.transaction_id == transaction_id:
+                if request.granted and (
+                    request.mode is mode or request.mode is LockMode.EXCLUSIVE
+                ):
+                    return True
+                if request.granted and mode is LockMode.EXCLUSIVE:
+                    return self._try_upgrade(entry, request)
+                return request.granted
+
+        request = LockRequest(transaction_id=transaction_id, mode=mode)
+        entry.requests.append(request)
+        if self._can_grant(entry, request):
+            self._grant(entry, request)
+            return True
+        self.lock_waits += 1
+        if self.detect_deadlocks:
+            cycle = self._find_cycle(transaction_id)
+            if cycle:
+                entry.requests.remove(request)
+                self.deadlocks_detected += 1
+                raise DeadlockDetected(transaction_id, cycle)
+        return False
+
+    def _try_upgrade(self, entry: _LockEntry, request: LockRequest) -> bool:
+        other_holders = [
+            holder
+            for holder in entry.holders()
+            if holder.transaction_id != request.transaction_id
+        ]
+        if other_holders:
+            return False
+        request.mode = LockMode.EXCLUSIVE
+        return True
+
+    def _can_grant(self, entry: _LockEntry, request: LockRequest) -> bool:
+        # FIFO fairness: every request queued before this one must already be
+        # granted, otherwise this request waits its turn.
+        for earlier in entry.requests:
+            if earlier is request:
+                break
+            if not earlier.granted:
+                return False
+        holders = [
+            holder
+            for holder in entry.holders()
+            if holder.transaction_id != request.transaction_id
+        ]
+        return all(_compatible(holder.mode, request.mode) for holder in holders)
+
+    def _grant(self, entry: _LockEntry, request: LockRequest) -> None:
+        request.granted = True
+        self._held_by.setdefault(request.transaction_id, set()).add(entry.key)
+
+    # --------------------------------------------------------------- release
+    def release(self, transaction_id: TransactionId, key: ObjectKey) -> List[TransactionId]:
+        """Release one lock; returns transactions whose requests became granted."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return []
+        entry.requests = [
+            request
+            for request in entry.requests
+            if not (request.transaction_id == transaction_id and request.granted)
+        ]
+        held = self._held_by.get(transaction_id)
+        if held is not None:
+            held.discard(key)
+        return self._promote(entry)
+
+    def release_all(self, transaction_id: TransactionId) -> List[TransactionId]:
+        """Release every lock held or requested by ``transaction_id``."""
+        unblocked: List[TransactionId] = []
+        for key in list(self._held_by.get(transaction_id, set())):
+            unblocked.extend(self.release(transaction_id, key))
+        for entry in self._entries.values():
+            entry.requests = [
+                request
+                for request in entry.requests
+                if request.transaction_id != transaction_id
+            ]
+            unblocked.extend(self._promote(entry))
+        self._held_by.pop(transaction_id, None)
+        seen: Set[TransactionId] = set()
+        ordered: List[TransactionId] = []
+        for txn in unblocked:
+            if txn not in seen:
+                seen.add(txn)
+                ordered.append(txn)
+        return ordered
+
+    def _promote(self, entry: _LockEntry) -> List[TransactionId]:
+        unblocked: List[TransactionId] = []
+        for request in entry.requests:
+            if request.granted:
+                continue
+            holders = entry.holders()
+            if not holders or (
+                all(_compatible(h.mode, request.mode) for h in holders)
+                and request.mode is LockMode.SHARED
+            ):
+                self._grant(entry, request)
+                unblocked.append(request.transaction_id)
+            else:
+                break
+        return unblocked
+
+    # ----------------------------------------------------- deadlock detection
+    def wait_for_graph(self) -> Dict[TransactionId, Set[TransactionId]]:
+        """Return the current wait-for graph (waiter -> holders it waits on)."""
+        graph: Dict[TransactionId, Set[TransactionId]] = {}
+        for entry in self._entries.values():
+            holders = [request.transaction_id for request in entry.holders()]
+            for waiter in entry.waiters():
+                graph.setdefault(waiter.transaction_id, set()).update(
+                    holder for holder in holders if holder != waiter.transaction_id
+                )
+        return graph
+
+    def _find_cycle(self, start: TransactionId) -> List[TransactionId]:
+        graph = self.wait_for_graph()
+        path: List[TransactionId] = []
+        visited: Set[TransactionId] = set()
+
+        def visit(node: TransactionId) -> Optional[List[TransactionId]]:
+            if node in path:
+                return path[path.index(node):] + [node]
+            if node in visited:
+                return None
+            visited.add(node)
+            path.append(node)
+            for neighbour in graph.get(node, set()):
+                cycle = visit(neighbour)
+                if cycle:
+                    return cycle
+            path.pop()
+            return None
+
+        return visit(start) or []

@@ -1,0 +1,105 @@
+"""Snapshot management for queries (paper Section 5).
+
+Queries are executed locally and must not be ordered through the atomic
+broadcast, yet they must not create serialization orders that contradict the
+definitive total order at other sites.  The paper solves this with
+versioned data and query indices: transactions are indexed by TO-delivery
+order; a query starting after transaction ``T_i`` was the last processed
+TO-delivered transaction receives the index ``i.5`` and, for every conflict
+class it touches, reads the versions created by the last transaction of that
+class with index ``<= i``.
+
+Because the multi-version store tags every committed version with the global
+index of the creating transaction, a snapshot read at ``i.5`` is simply a
+versioned read bounded by that index.  The :class:`SnapshotManager` assigns
+query indices and hands out read-only views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import SnapshotError
+from ..types import ObjectKey, ObjectValue
+from .storage import MultiVersionStore
+
+
+@dataclass(frozen=True)
+class QuerySnapshot:
+    """A consistent read-only view of the database at index ``query_index``."""
+
+    query_index: float
+    store: MultiVersionStore
+
+    def read(self, key: ObjectKey) -> ObjectValue:
+        """Read ``key`` as of this snapshot."""
+        return self.store.read_version(key, self.query_index)
+
+    def read_many(self, keys: List[ObjectKey]) -> Dict[ObjectKey, ObjectValue]:
+        """Read several keys as of this snapshot."""
+        return {key: self.read(key) for key in keys}
+
+
+class SnapshotManager:
+    """Assigns query indices and produces consistent snapshots.
+
+    The manager tracks the index of the last *processed* TO-delivered
+    transaction (i.e. the last transaction whose commit installed versions),
+    which is the ``i`` of the paper's ``i.5`` query index.
+    """
+
+    def __init__(self, store: MultiVersionStore) -> None:
+        self._store = store
+        self._last_processed_index: int = MultiVersionStore.INITIAL_INDEX
+        self.snapshots_taken = 0
+
+    # ----------------------------------------------------------------- state
+    @property
+    def last_processed_index(self) -> int:
+        """Index of the last committed (processed TO-delivered) transaction."""
+        return self._last_processed_index
+
+    def advance(self, committed_index: int) -> None:
+        """Record that the transaction with ``committed_index`` has committed.
+
+        Indices normally advance monotonically (commit order follows the
+        definitive total order); a lagging value is ignored rather than
+        rejected so that idempotent replays are harmless.
+        """
+        if committed_index > self._last_processed_index:
+            self._last_processed_index = committed_index
+
+    # ------------------------------------------------------------- snapshots
+    def next_query_index(self) -> float:
+        """Return the index a query starting now receives (``i + 0.5``)."""
+        return self._last_processed_index + 0.5
+
+    def snapshot(self, query_index: Optional[float] = None) -> QuerySnapshot:
+        """Return a consistent snapshot for a query.
+
+        Without an explicit ``query_index`` the current ``i.5`` index is
+        used.  Supplying an index older than data still retained by the store
+        is allowed; supplying a future index is rejected because it would let
+        a query observe transactions that have not committed yet.
+        """
+        self.snapshots_taken += 1
+        if query_index is None:
+            query_index = self.next_query_index()
+        if query_index > self._last_processed_index + 0.5:
+            raise SnapshotError(
+                f"query index {query_index!r} is in the future "
+                f"(last processed index is {self._last_processed_index})"
+            )
+        return QuerySnapshot(query_index=query_index, store=self._store)
+
+    def garbage_collect(self, *, keep_last: int = 8) -> int:
+        """Prune versions older than ``last_processed_index - keep_last``.
+
+        Returns the number of versions removed.  At least one version per
+        object is always retained.
+        """
+        horizon = self._last_processed_index - keep_last
+        if horizon <= MultiVersionStore.INITIAL_INDEX:
+            return 0
+        return self._store.prune(horizon)

@@ -1,0 +1,162 @@
+"""In-memory multi-version object store (one per replica site).
+
+The store only ever contains *committed* versions.  Executing transactions
+buffer their writes in a private workspace (see
+:mod:`repro.core.execution`); the workspace is installed atomically at commit
+time, or simply discarded on abort.  An eager-application mode backed by an
+undo log is also supported for completeness (see
+:mod:`repro.database.recovery`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import UnknownObjectError
+from ..types import ObjectKey, ObjectValue, TransactionId
+from .objects import ObjectVersion, VersionChain
+
+
+@dataclass
+class StoreStats:
+    """Counters maintained by the store."""
+
+    reads: int = 0
+    writes: int = 0
+    snapshot_reads: int = 0
+    versions_pruned: int = 0
+
+
+class MultiVersionStore:
+    """Dictionary of version chains keyed by object key."""
+
+    #: Index used for versions loaded before any transaction ran.
+    INITIAL_INDEX = -1
+
+    def __init__(self) -> None:
+        self._chains: Dict[ObjectKey, VersionChain] = {}
+        self.stats = StoreStats()
+
+    # ----------------------------------------------------------------- setup
+    def load(self, key: ObjectKey, value: ObjectValue) -> None:
+        """Install an initial version of ``key`` (index ``INITIAL_INDEX``)."""
+        chain = self._chains.setdefault(key, VersionChain(key=key))
+        chain.append(
+            ObjectVersion(
+                key=key,
+                value=value,
+                created_index=self.INITIAL_INDEX,
+                created_by="__initial__",
+            )
+        )
+
+    def load_many(self, items: Dict[ObjectKey, ObjectValue]) -> None:
+        """Install initial versions for every ``key: value`` pair."""
+        for key, value in items.items():
+            self.load(key, value)
+
+    # ----------------------------------------------------------------- reads
+    def exists(self, key: ObjectKey) -> bool:
+        """Return whether the object exists (has at least one version)."""
+        chain = self._chains.get(key)
+        return chain is not None and len(chain) > 0
+
+    def keys(self) -> List[ObjectKey]:
+        """Return all object keys (sorted for determinism)."""
+        return sorted(self._chains)
+
+    def read_latest(self, key: ObjectKey) -> ObjectValue:
+        """Return a copy of the latest committed value of ``key``."""
+        self.stats.reads += 1
+        version = self._chain(key).latest()
+        if version is None:
+            raise UnknownObjectError(f"object {key!r} has no committed version")
+        return version.copy_value()
+
+    def read_version(self, key: ObjectKey, max_index: float) -> ObjectValue:
+        """Return a copy of the value of ``key`` visible at ``max_index``.
+
+        This is the snapshot read of Section 5: the version created by the
+        transaction with the greatest index ``<= max_index``.
+        """
+        self.stats.snapshot_reads += 1
+        version = self._chain(key).visible_at(max_index)
+        if version is None:
+            raise UnknownObjectError(
+                f"object {key!r} has no version visible at index {max_index!r}"
+            )
+        return version.copy_value()
+
+    def latest_version(self, key: ObjectKey) -> Optional[ObjectVersion]:
+        """Return the latest :class:`ObjectVersion` record (or ``None``)."""
+        chain = self._chains.get(key)
+        return chain.latest() if chain else None
+
+    def version_count(self, key: ObjectKey) -> int:
+        """Number of committed versions currently retained for ``key``."""
+        chain = self._chains.get(key)
+        return len(chain) if chain else 0
+
+    # ---------------------------------------------------------------- writes
+    def install(
+        self,
+        key: ObjectKey,
+        value: ObjectValue,
+        *,
+        created_index: int,
+        created_by: TransactionId,
+        created_at: float = 0.0,
+    ) -> ObjectVersion:
+        """Install a new committed version of ``key`` and return it."""
+        self.stats.writes += 1
+        chain = self._chains.setdefault(key, VersionChain(key=key))
+        version = ObjectVersion(
+            key=key,
+            value=value,
+            created_index=created_index,
+            created_by=created_by,
+            created_at=created_at,
+        )
+        chain.append(version)
+        return version
+
+    def remove_version(
+        self, key: ObjectKey, *, created_index: int, created_by: TransactionId
+    ) -> bool:
+        """Remove a previously installed version (undo of an eager write)."""
+        chain = self._chains.get(key)
+        if chain is None:
+            return False
+        return chain.remove_version(created_index, created_by)
+
+    # ------------------------------------------------------------ maintenance
+    def prune(self, min_index: int, *, keep_at_least: int = 1) -> int:
+        """Garbage-collect versions older than ``min_index`` on every chain."""
+        removed = 0
+        for chain in self._chains.values():
+            removed += chain.prune_before(min_index, keep_at_least=keep_at_least)
+        self.stats.versions_pruned += removed
+        return removed
+
+    # ---------------------------------------------------------------- export
+    def dump_latest(self, keys: Optional[Iterable[ObjectKey]] = None) -> Dict[ObjectKey, ObjectValue]:
+        """Return ``{key: latest value}`` for ``keys`` (default: every key).
+
+        Used by the verification layer to compare replica contents and by
+        examples to display the database state.
+        """
+        selected = list(keys) if keys is not None else self.keys()
+        result: Dict[ObjectKey, ObjectValue] = {}
+        for key in selected:
+            version = self._chain(key).latest()
+            if version is not None:
+                result[key] = version.copy_value()
+        return result
+
+    # -------------------------------------------------------------- internal
+    def _chain(self, key: ObjectKey) -> VersionChain:
+        chain = self._chains.get(key)
+        if chain is None:
+            raise UnknownObjectError(f"object {key!r} does not exist")
+        return chain

@@ -1,0 +1,227 @@
+"""Transactions and their state machine.
+
+The paper labels every transaction with two state variables (Section 3.3):
+
+* execution state — ``active`` or ``executed``
+* delivery state  — ``pending`` (after Opt-deliver) or ``committable``
+  (after TO-deliver)
+
+plus the terminal outcomes commit and abort/reschedule.  This module defines
+those states, the transaction request that travels inside broadcast
+messages, and the per-site :class:`Transaction` record that the OTP modules
+manipulate.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..errors import TransactionError
+from ..types import ConflictClassId, ObjectKey, ObjectValue, SiteId, TransactionId
+
+_TXN_COUNTER = itertools.count(1)
+
+
+def next_transaction_id(origin: SiteId) -> TransactionId:
+    """Return a globally unique transaction identifier."""
+    return f"T:{origin}:{next(_TXN_COUNTER)}"
+
+
+class ExecutionState(enum.Enum):
+    """Execution progress of a transaction at one site (paper: a / e)."""
+
+    ACTIVE = "active"
+    EXECUTED = "executed"
+
+
+class DeliveryState(enum.Enum):
+    """Delivery progress of a transaction at one site (paper: p / c)."""
+
+    PENDING = "pending"
+    COMMITTABLE = "committable"
+
+
+class TransactionOutcome(enum.Enum):
+    """Terminal outcome of a transaction at one site."""
+
+    UNDECIDED = "undecided"
+    COMMITTED = "committed"
+    #: The transaction was aborted for rescheduling (it will re-execute and
+    #: eventually commit); this is the CC8 abort of the paper, not a final
+    #: client-visible abort.
+    REORDERED = "reordered"
+
+
+@dataclass(frozen=True)
+class TransactionRequest:
+    """The client request broadcast to all sites (one stored procedure call)."""
+
+    transaction_id: TransactionId
+    procedure_name: str
+    parameters: Dict[str, Any]
+    conflict_class: ConflictClassId
+    origin_site: SiteId
+    submitted_at: float = 0.0
+    is_query: bool = False
+
+
+@dataclass
+class Transaction:
+    """Per-site record of an update transaction processed by the OTP scheduler."""
+
+    request: TransactionRequest
+    site_id: SiteId
+    execution_state: ExecutionState = ExecutionState.ACTIVE
+    delivery_state: DeliveryState = DeliveryState.PENDING
+    outcome: TransactionOutcome = TransactionOutcome.UNDECIDED
+    #: Definitive position assigned by the atomic broadcast (None until
+    #: TO-delivery).  Used as the version index for writes (Section 5).
+    global_index: Optional[int] = None
+    #: Whether the execution of this transaction has been submitted to the
+    #: execution engine and has not completed yet.
+    executing: bool = False
+    #: Buffered writes of the current execution attempt.
+    workspace: Dict[ObjectKey, ObjectValue] = field(default_factory=dict)
+    #: Keys read by the current execution attempt.
+    read_set: set = field(default_factory=set)
+    #: Return value of the stored procedure (set when execution completes).
+    result: Any = None
+    #: How many times the transaction was aborted and rescheduled (CC8).
+    reorder_aborts: int = 0
+    #: How many times execution was started.
+    execution_attempts: int = 0
+    # -- timestamps (virtual time, seconds) ---------------------------------
+    opt_delivered_at: Optional[float] = None
+    to_delivered_at: Optional[float] = None
+    first_execution_started_at: Optional[float] = None
+    last_execution_started_at: Optional[float] = None
+    executed_at: Optional[float] = None
+    committed_at: Optional[float] = None
+
+    # ------------------------------------------------------------ properties
+    @property
+    def transaction_id(self) -> TransactionId:
+        """The globally unique transaction identifier."""
+        return self.request.transaction_id
+
+    @property
+    def conflict_class(self) -> ConflictClassId:
+        """The conflict class this transaction belongs to."""
+        return self.request.conflict_class
+
+    @property
+    def is_pending(self) -> bool:
+        """Whether the transaction has not been TO-delivered yet."""
+        return self.delivery_state is DeliveryState.PENDING
+
+    @property
+    def is_committable(self) -> bool:
+        """Whether the transaction has been TO-delivered (may still execute)."""
+        return self.delivery_state is DeliveryState.COMMITTABLE
+
+    @property
+    def is_executed(self) -> bool:
+        """Whether the current execution attempt has completed."""
+        return self.execution_state is ExecutionState.EXECUTED
+
+    @property
+    def is_committed(self) -> bool:
+        """Whether the transaction has committed at this site."""
+        return self.outcome is TransactionOutcome.COMMITTED
+
+    @property
+    def commit_latency(self) -> Optional[float]:
+        """Time from client submission to commit at this site."""
+        if self.committed_at is None:
+            return None
+        return self.committed_at - self.request.submitted_at
+
+    # ------------------------------------------------------------ transitions
+    def mark_opt_delivered(self, at_time: float) -> None:
+        """Record the Opt-delivery of the transaction's message (S2)."""
+        if self.opt_delivered_at is not None:
+            raise TransactionError(
+                f"{self.transaction_id} was already opt-delivered at this site"
+            )
+        self.opt_delivered_at = at_time
+        self.execution_state = ExecutionState.ACTIVE
+        self.delivery_state = DeliveryState.PENDING
+
+    def mark_committable(self, at_time: float) -> None:
+        """Record the TO-delivery of the transaction's message (CC6)."""
+        if self.is_committed:
+            raise TransactionError(f"{self.transaction_id} already committed")
+        self.to_delivered_at = at_time
+        self.delivery_state = DeliveryState.COMMITTABLE
+
+    def begin_execution(self, at_time: float) -> None:
+        """Record the start of an execution attempt (S4, CC12, E3/CC4)."""
+        if self.is_committed:
+            raise TransactionError(f"cannot execute committed {self.transaction_id}")
+        if self.executing:
+            raise TransactionError(f"{self.transaction_id} is already executing")
+        self.executing = True
+        self.execution_state = ExecutionState.ACTIVE
+        self.execution_attempts += 1
+        self.workspace = {}
+        self.read_set = set()
+        if self.first_execution_started_at is None:
+            self.first_execution_started_at = at_time
+        self.last_execution_started_at = at_time
+
+    def complete_execution(self, at_time: float, result: Any) -> None:
+        """Record the completion of the current execution attempt (E5)."""
+        if not self.executing:
+            raise TransactionError(
+                f"{self.transaction_id} completed execution without having started"
+            )
+        self.executing = False
+        self.execution_state = ExecutionState.EXECUTED
+        self.executed_at = at_time
+        self.result = result
+
+    def abort_for_reordering(self) -> None:
+        """Undo the current execution attempt so it can re-run later (CC8).
+
+        The transaction stays in the class queue and will be re-executed; its
+        buffered workspace is discarded, which is the deferred-update
+        equivalent of undoing its modifications.
+        """
+        if self.is_committed:
+            raise TransactionError(f"cannot abort committed {self.transaction_id}")
+        self.executing = False
+        self.execution_state = ExecutionState.ACTIVE
+        self.outcome = TransactionOutcome.UNDECIDED
+        self.reorder_aborts += 1
+        self.workspace = {}
+        self.read_set = set()
+        self.result = None
+        self.executed_at = None
+
+    def mark_committed(self, at_time: float) -> None:
+        """Record the commit of the transaction at this site (E2, CC3)."""
+        if self.is_committed:
+            raise TransactionError(f"{self.transaction_id} committed twice")
+        if self.delivery_state is not DeliveryState.COMMITTABLE:
+            raise TransactionError(
+                f"{self.transaction_id} cannot commit before being TO-delivered"
+            )
+        if self.execution_state is not ExecutionState.EXECUTED:
+            raise TransactionError(
+                f"{self.transaction_id} cannot commit before finishing execution"
+            )
+        self.outcome = TransactionOutcome.COMMITTED
+        self.committed_at = at_time
+
+    # -------------------------------------------------------------- niceties
+    def state_label(self) -> str:
+        """Compact ``[a|e, p|c]`` label matching the paper's notation."""
+        execution = "a" if self.execution_state is ExecutionState.ACTIVE else "e"
+        delivery = "p" if self.delivery_state is DeliveryState.PENDING else "c"
+        return f"{self.transaction_id}[{execution},{delivery}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Transaction({self.state_label()}, class={self.conflict_class})"

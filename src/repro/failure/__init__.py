@@ -1,0 +1,15 @@
+"""Crash/recovery injection and failure detection."""
+
+from .crash import CrashEvent, CrashManager, CrashSchedule, LivenessListener
+from .detector import HEARTBEAT_KIND, FailureDetector, Heartbeat, SuspicionListener
+
+__all__ = [
+    "CrashEvent",
+    "CrashManager",
+    "CrashSchedule",
+    "LivenessListener",
+    "FailureDetector",
+    "Heartbeat",
+    "SuspicionListener",
+    "HEARTBEAT_KIND",
+]

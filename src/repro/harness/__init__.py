@@ -1,0 +1,41 @@
+"""Experiment harness: one experiment per paper figure/claim, plus reporting."""
+
+from .experiments import (
+    RunSummary,
+    conflict_experiment,
+    figure1_spontaneous_order,
+    lazy_comparison_experiment,
+    optimism_tradeoff_experiment,
+    overlap_experiment,
+    query_experiment,
+    run_standard_workload,
+    scalability_experiment,
+)
+from .reporting import ascii_plot, format_mapping, format_table
+from .results import ExperimentResult
+from .runner import (
+    FAST_EXPERIMENTS,
+    FULL_EXPERIMENTS,
+    ExperimentSuiteResult,
+    run_experiments,
+)
+
+__all__ = [
+    "RunSummary",
+    "conflict_experiment",
+    "figure1_spontaneous_order",
+    "lazy_comparison_experiment",
+    "optimism_tradeoff_experiment",
+    "overlap_experiment",
+    "query_experiment",
+    "run_standard_workload",
+    "scalability_experiment",
+    "ascii_plot",
+    "format_mapping",
+    "format_table",
+    "ExperimentResult",
+    "FAST_EXPERIMENTS",
+    "FULL_EXPERIMENTS",
+    "ExperimentSuiteResult",
+    "run_experiments",
+]

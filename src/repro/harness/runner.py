@@ -1,0 +1,104 @@
+"""Run all experiments and render a report (used to regenerate EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .experiments import (
+    conflict_experiment,
+    figure1_spontaneous_order,
+    lazy_comparison_experiment,
+    optimism_tradeoff_experiment,
+    overlap_experiment,
+    query_experiment,
+    scalability_experiment,
+)
+from .results import ExperimentResult
+
+#: Registry of experiment names to their zero-argument "fast" runners.
+FAST_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "figure1": lambda: figure1_spontaneous_order(
+        intervals_ms=(0.1, 0.5, 1.0, 2.0, 4.0), messages_per_site=80
+    ),
+    "overlap": lambda: overlap_experiment(
+        execution_times_ms=(0.5, 2.0, 6.0), updates_per_site=20
+    ),
+    "conflicts": lambda: conflict_experiment(class_counts=(1, 4, 16), updates_per_site=20),
+    "tradeoff": lambda: optimism_tradeoff_experiment(
+        receiver_jitter_us=(30.0, 400.0, 3000.0), updates_per_site=20
+    ),
+    "lazy": lambda: lazy_comparison_experiment(updates_per_site=30),
+    "queries": lambda: query_experiment(queries_per_site_values=(0, 20), updates_per_site=20),
+    "scalability": lambda: scalability_experiment(site_counts=(2, 4, 6), updates_per_site=20),
+}
+
+#: Full-size experiment runners (used when regenerating EXPERIMENTS.md).
+FULL_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "figure1": figure1_spontaneous_order,
+    "overlap": overlap_experiment,
+    "conflicts": conflict_experiment,
+    "tradeoff": optimism_tradeoff_experiment,
+    "lazy": lazy_comparison_experiment,
+    "queries": query_experiment,
+    "scalability": scalability_experiment,
+}
+
+
+@dataclass
+class ExperimentSuiteResult:
+    """All experiment results keyed by experiment id."""
+
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+
+    def to_markdown(self) -> str:
+        """Render every result as a Markdown document body."""
+        sections = [result.to_markdown() for _, result in sorted(self.results.items())]
+        return "\n\n".join(sections)
+
+    def to_text(self) -> str:
+        """Render every result as plain-text tables."""
+        blocks: List[str] = []
+        for name, result in sorted(self.results.items()):
+            blocks.append(f"== {result.name} ==")
+            blocks.append(result.format_table())
+            blocks.append("")
+        return "\n".join(blocks)
+
+
+def run_experiments(
+    names: Optional[List[str]] = None, *, fast: bool = True
+) -> ExperimentSuiteResult:
+    """Run the selected experiments (all of them by default).
+
+    ``fast=True`` uses reduced parameter grids suitable for CI and the
+    benchmark suite; ``fast=False`` runs the full sweeps used for
+    EXPERIMENTS.md.
+    """
+    registry = FAST_EXPERIMENTS if fast else FULL_EXPERIMENTS
+    selected = names or sorted(registry)
+    suite = ExperimentSuiteResult()
+    for name in selected:
+        if name not in registry:
+            raise KeyError(
+                f"unknown experiment {name!r}; available: {sorted(registry)}"
+            )
+        suite.results[name] = registry[name]()
+    return suite
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """Command-line entry point: run the full suite and print the report."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Run the OTP reproduction experiments")
+    parser.add_argument("names", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--full", action="store_true", help="run the full parameter sweeps")
+    parser.add_argument("--markdown", action="store_true", help="emit Markdown instead of text")
+    arguments = parser.parse_args()
+    suite = run_experiments(arguments.names or None, fast=not arguments.full)
+    print(suite.to_markdown() if arguments.markdown else suite.to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

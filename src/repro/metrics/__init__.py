@@ -1,0 +1,25 @@
+"""Metric collection and summary statistics."""
+
+from .collector import Counter, LatencyRecorder, MetricsCollector
+from .stats import (
+    Summary,
+    confidence_interval_95,
+    mean,
+    percentile,
+    ratio,
+    stddev,
+    summarize,
+)
+
+__all__ = [
+    "Counter",
+    "LatencyRecorder",
+    "MetricsCollector",
+    "Summary",
+    "confidence_interval_95",
+    "mean",
+    "percentile",
+    "ratio",
+    "stddev",
+    "summarize",
+]

@@ -1,0 +1,83 @@
+"""Network message envelope.
+
+The transport layer moves :class:`Envelope` objects between sites.  The
+payload is opaque to the network; broadcast protocols and replica managers
+put their own protocol messages inside it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from ..types import MessageId, SiteId
+
+_ENVELOPE_COUNTER = itertools.count(1)
+
+
+def next_envelope_id(sender: SiteId) -> MessageId:
+    """Return a globally unique envelope identifier for ``sender``."""
+    return f"{sender}#{next(_ENVELOPE_COUNTER)}"
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A single message travelling through the network.
+
+    Attributes
+    ----------
+    envelope_id:
+        Unique identifier, assigned by the transport when the message is sent.
+    sender:
+        Originating site.
+    destination:
+        Target site for unicasts; ``None`` for multicast envelopes (the
+        transport fans a multicast out into one envelope per receiver, each
+        carrying the concrete destination).
+    payload:
+        Protocol-specific content.
+    kind:
+        Short label describing the payload (used in traces and tests).
+    sent_at:
+        Virtual time at which the message entered the network.
+    """
+
+    envelope_id: MessageId
+    sender: SiteId
+    destination: Optional[SiteId]
+    payload: Any
+    kind: str = "data"
+    sent_at: float = 0.0
+
+    def with_destination(self, destination: SiteId) -> "Envelope":
+        """Return a copy of this envelope addressed to ``destination``."""
+        return Envelope(
+            envelope_id=self.envelope_id,
+            sender=self.sender,
+            destination=destination,
+            payload=self.payload,
+            kind=self.kind,
+            sent_at=self.sent_at,
+        )
+
+    def sort_key(self) -> Tuple[str, str]:
+        """A deterministic ordering key (used only for tie-breaking in tests)."""
+        return (self.envelope_id, self.sender)
+
+
+@dataclass
+class DeliveryRecord:
+    """Bookkeeping record of one delivery of an envelope at one site.
+
+    Collected by the transport's optional trace so that experiments (Figure 1)
+    can reconstruct per-site receive sequences.
+    """
+
+    envelope_id: MessageId
+    sender: SiteId
+    receiver: SiteId
+    sent_at: float
+    delivered_at: float
+    kind: str = "data"
+    payload: Any = field(default=None, repr=False)

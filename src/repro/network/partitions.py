@@ -1,0 +1,91 @@
+"""Network partition injection.
+
+A :class:`PartitionController` decides whether two sites can currently talk
+to each other.  While a partition separates them, envelopes are held back by
+the transport and flushed when the partition heals, which preserves the
+paper's reliable-channel assumption (a message sent is *eventually*
+received).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..errors import NetworkError
+from ..types import SiteId
+
+
+class PartitionController:
+    """Tracks which groups of sites are currently separated from each other."""
+
+    def __init__(self) -> None:
+        # Maps each site to its partition group id.  Sites not mentioned in
+        # any partition share the implicit group ``None`` (fully connected).
+        self._group_of: Dict[SiteId, int] = {}
+        self._next_group = 0
+        self._history: List[Tuple[float, str, FrozenSet[SiteId]]] = []
+
+    # ----------------------------------------------------------------- state
+    def connected(self, site_a: SiteId, site_b: SiteId) -> bool:
+        """Return whether the two sites can currently exchange messages."""
+        if site_a == site_b:
+            return True
+        return self._group_of.get(site_a) == self._group_of.get(site_b)
+
+    def is_partitioned(self) -> bool:
+        """Return whether any partition is currently in effect."""
+        return len(set(self._group_of.values())) > 1 or (
+            bool(self._group_of) and None not in set(self._group_of.values())
+            and len(set(self._group_of.values())) >= 1 and self._has_unlisted_sites()
+        )
+
+    def _has_unlisted_sites(self) -> bool:
+        # Conservative: the controller cannot know the full site set, so a
+        # single explicit group still counts as a partition (it is separated
+        # from the implicit fully-connected group).
+        return True
+
+    # ------------------------------------------------------------ operations
+    def isolate(self, sites: Iterable[SiteId], at_time: float = 0.0) -> None:
+        """Split ``sites`` into their own partition group.
+
+        Every listed site can talk to the other listed sites but not to any
+        site outside the group (and vice versa).
+        """
+        group = frozenset(sites)
+        if not group:
+            raise NetworkError("cannot create an empty partition group")
+        group_id = self._next_group
+        self._next_group += 1
+        for site in group:
+            self._group_of[site] = group_id
+        self._history.append((at_time, "isolate", group))
+
+    def isolate_single(self, site: SiteId, at_time: float = 0.0) -> None:
+        """Cut a single site off from every other site."""
+        self.isolate([site], at_time=at_time)
+
+    def heal(self, sites: Optional[Iterable[SiteId]] = None, at_time: float = 0.0) -> None:
+        """Remove partitions.
+
+        With ``sites`` given, only those sites rejoin the fully connected
+        group; without it, all partitions are removed.
+        """
+        if sites is None:
+            healed: Set[SiteId] = set(self._group_of)
+            self._group_of.clear()
+        else:
+            healed = set(sites)
+            for site in healed:
+                self._group_of.pop(site, None)
+        self._history.append((at_time, "heal", frozenset(healed)))
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def history(self) -> List[Tuple[float, str, FrozenSet[SiteId]]]:
+        """Chronological list of (time, operation, sites) partition changes."""
+        return list(self._history)
+
+    def group_of(self, site: SiteId) -> Optional[int]:
+        """Return the partition group id of ``site`` (``None`` = main group)."""
+        return self._group_of.get(site)

@@ -1,0 +1,317 @@
+"""The network transport: moves envelopes between registered sites.
+
+The transport implements the paper's system model (Section 2): asynchronous
+channels with no bound on transmission delay, reliable delivery (a message
+sent to a correct site is eventually received), crash-stop failures with
+recovery, and optional network partitions.  Reliability in the presence of
+message loss is provided by transparent retransmission; reliability across
+crashes and partitions is provided by buffering envelopes until the receiver
+is reachable again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..errors import NetworkError, UnknownSiteError
+from ..simulation.kernel import SimulationKernel
+from ..simulation.randomness import RandomStream
+from ..types import MessageId, SiteId
+from .latency import LanMulticastLatency, LatencyModel
+from .message import DeliveryRecord, Envelope, next_envelope_id
+from .partitions import PartitionController
+
+#: Signature of the per-site receive handler registered with the transport.
+ReceiveHandler = Callable[[Envelope], None]
+
+
+@dataclass
+class TransportStats:
+    """Counters maintained by the transport for benchmarking."""
+
+    unicasts_sent: int = 0
+    multicasts_sent: int = 0
+    envelopes_delivered: int = 0
+    envelopes_dropped: int = 0
+    envelopes_buffered: int = 0
+    retransmissions: int = 0
+    bytes_estimate: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {
+            "unicasts_sent": self.unicasts_sent,
+            "multicasts_sent": self.multicasts_sent,
+            "envelopes_delivered": self.envelopes_delivered,
+            "envelopes_dropped": self.envelopes_dropped,
+            "envelopes_buffered": self.envelopes_buffered,
+            "retransmissions": self.retransmissions,
+            "bytes_estimate": self.bytes_estimate,
+        }
+
+
+@dataclass
+class _SiteEndpoint:
+    """Internal per-site registration record."""
+
+    site_id: SiteId
+    handler: ReceiveHandler
+    up: bool = True
+    pending: List[Envelope] = field(default_factory=list)
+
+
+class NetworkTransport:
+    """Simulated network connecting a fixed set of sites.
+
+    Parameters
+    ----------
+    kernel:
+        The simulation kernel used for scheduling deliveries.
+    latency_model:
+        Model producing one-way delays; defaults to the LAN multicast model
+        used for the Figure 1 reproduction.
+    loss_probability:
+        Probability that any individual envelope transmission is lost.  Lost
+        envelopes are retransmitted after ``retransmit_delay`` so channels
+        remain reliable, matching the paper's model.
+    record_deliveries:
+        When true, every delivery is appended to :attr:`delivery_log`, which
+        the spontaneous-order experiment uses to reconstruct per-site receive
+        sequences.
+    medium_frame_time:
+        When positive, multicasts are serialised through a shared medium (a
+        10 Mbit/s Ethernet in the paper's testbed): each multicast occupies
+        the medium for ``medium_frame_time`` seconds and back-to-back
+        multicasts queue behind each other.  This serialisation is what keeps
+        the spontaneous total order high even when many sites broadcast at
+        almost the same instant (paper Figure 1).
+    """
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        latency_model: Optional[LatencyModel] = None,
+        *,
+        loss_probability: float = 0.0,
+        retransmit_delay: float = 0.002,
+        record_deliveries: bool = False,
+        medium_frame_time: float = 0.0,
+        payload_size_estimator: Optional[Callable[[Envelope], int]] = None,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise NetworkError("loss probability must be in [0, 1)")
+        if retransmit_delay <= 0.0:
+            raise NetworkError("retransmit delay must be positive")
+        if medium_frame_time < 0.0:
+            raise NetworkError("medium frame time cannot be negative")
+        self.kernel = kernel
+        self.latency_model = latency_model or LanMulticastLatency()
+        self.loss_probability = loss_probability
+        self.retransmit_delay = retransmit_delay
+        self.medium_frame_time = medium_frame_time
+        self._medium_free_at = 0.0
+        self.partitions = PartitionController()
+        self.stats = TransportStats()
+        self.delivery_log: List[DeliveryRecord] = []
+        self._record_deliveries = record_deliveries
+        self._sites: Dict[SiteId, _SiteEndpoint] = {}
+        self._latency_stream: RandomStream = kernel.random.stream("network.latency")
+        self._loss_stream: RandomStream = kernel.random.stream("network.loss")
+        self._payload_size_estimator = payload_size_estimator
+
+    # ---------------------------------------------------------- registration
+    def register_site(self, site_id: SiteId, handler: ReceiveHandler) -> None:
+        """Register a site and its receive handler.
+
+        Re-registering an existing site replaces its handler (used when a
+        site restarts after a crash with a fresh protocol stack).
+        """
+        if site_id in self._sites:
+            endpoint = self._sites[site_id]
+            endpoint.handler = handler
+        else:
+            self._sites[site_id] = _SiteEndpoint(site_id=site_id, handler=handler)
+
+    def sites(self) -> List[SiteId]:
+        """Return the identifiers of all registered sites (sorted)."""
+        return sorted(self._sites)
+
+    def is_registered(self, site_id: SiteId) -> bool:
+        """Return whether ``site_id`` has been registered."""
+        return site_id in self._sites
+
+    # -------------------------------------------------------------- up/down
+    def set_site_up(self, site_id: SiteId, up: bool) -> None:
+        """Mark a site as crashed (``up=False``) or recovered (``up=True``).
+
+        Envelopes destined to a crashed site are buffered and delivered once
+        the site recovers, preserving reliable channels across crashes.
+        """
+        endpoint = self._endpoint(site_id)
+        endpoint.up = up
+        if up and endpoint.pending:
+            pending, endpoint.pending = endpoint.pending, []
+            for envelope in pending:
+                self._schedule_delivery(envelope, envelope.destination or site_id)
+
+    def is_site_up(self, site_id: SiteId) -> bool:
+        """Return whether the site is currently up."""
+        return self._endpoint(site_id).up
+
+    # --------------------------------------------------------------- sending
+    def unicast(
+        self, sender: SiteId, destination: SiteId, payload: object, *, kind: str = "data"
+    ) -> MessageId:
+        """Send ``payload`` from ``sender`` to ``destination``.
+
+        Returns the envelope identifier (useful for tracing in tests).
+        """
+        self._endpoint(sender)
+        self._endpoint(destination)
+        envelope = Envelope(
+            envelope_id=next_envelope_id(sender),
+            sender=sender,
+            destination=destination,
+            payload=payload,
+            kind=kind,
+            sent_at=self.kernel.now(),
+        )
+        self.stats.unicasts_sent += 1
+        self._account_payload(envelope)
+        self._transmit(envelope, destination, shared_delay=None)
+        return envelope.envelope_id
+
+    def multicast(
+        self,
+        sender: SiteId,
+        payload: object,
+        *,
+        kind: str = "data",
+        destinations: Optional[Iterable[SiteId]] = None,
+        include_sender: bool = True,
+    ) -> MessageId:
+        """Multicast ``payload`` from ``sender`` to ``destinations``.
+
+        Without explicit destinations the envelope goes to every registered
+        site.  The shared delay component of the latency model is drawn once
+        per multicast (it models the shared Ethernet medium), while the
+        per-receiver component is drawn independently for every destination.
+        """
+        self._endpoint(sender)
+        if destinations is None:
+            targets = self.sites()
+        else:
+            targets = sorted(set(destinations))
+        if not include_sender:
+            targets = [target for target in targets if target != sender]
+        for target in targets:
+            self._endpoint(target)
+        envelope = Envelope(
+            envelope_id=next_envelope_id(sender),
+            sender=sender,
+            destination=None,
+            payload=payload,
+            kind=kind,
+            sent_at=self.kernel.now(),
+        )
+        self.stats.multicasts_sent += 1
+        self._account_payload(envelope)
+        shared = self.latency_model.shared_delay(self._latency_stream)
+        shared += self._occupy_medium()
+        for target in targets:
+            self._transmit(envelope.with_destination(target), target, shared_delay=shared)
+        return envelope.envelope_id
+
+    def _occupy_medium(self) -> float:
+        """Serialise a multicast through the shared medium (if modelled).
+
+        Returns the additional delay (queueing behind earlier frames plus the
+        frame transmission time) that every receiver of this multicast sees.
+        """
+        if self.medium_frame_time <= 0.0:
+            return 0.0
+        now = self.kernel.now()
+        start = max(now, self._medium_free_at)
+        finish = start + self.medium_frame_time
+        self._medium_free_at = finish
+        return finish - now
+
+    # -------------------------------------------------------------- internal
+    def _endpoint(self, site_id: SiteId) -> _SiteEndpoint:
+        try:
+            return self._sites[site_id]
+        except KeyError:
+            raise UnknownSiteError(f"site {site_id!r} is not registered") from None
+
+    def _account_payload(self, envelope: Envelope) -> None:
+        if self._payload_size_estimator is not None:
+            self.stats.bytes_estimate += self._payload_size_estimator(envelope)
+
+    def _transmit(
+        self, envelope: Envelope, destination: SiteId, *, shared_delay: Optional[float]
+    ) -> None:
+        """Attempt one transmission; retransmit on simulated loss."""
+        if self.loss_probability > 0.0 and self._loss_stream.chance(self.loss_probability):
+            self.stats.envelopes_dropped += 1
+            self.stats.retransmissions += 1
+            self.kernel.schedule(
+                self.retransmit_delay,
+                lambda: self._transmit(envelope, destination, shared_delay=shared_delay),
+                label=f"retransmit:{envelope.envelope_id}",
+            )
+            return
+        if shared_delay is None:
+            delay = self.latency_model.sample(
+                envelope.sender, destination, self._latency_stream
+            )
+        else:
+            delay = shared_delay + self.latency_model.receiver_delay(
+                envelope.sender, destination, self._latency_stream
+            )
+        self.kernel.schedule(
+            delay,
+            lambda: self._arrive(envelope, destination),
+            label=f"deliver:{envelope.envelope_id}->{destination}",
+        )
+
+    def _arrive(self, envelope: Envelope, destination: SiteId) -> None:
+        endpoint = self._endpoint(destination)
+        if not self.partitions.connected(envelope.sender, destination):
+            # Hold the envelope until the partition heals; re-check shortly.
+            self.stats.envelopes_buffered += 1
+            self.kernel.schedule(
+                self.retransmit_delay,
+                lambda: self._arrive(envelope, destination),
+                label=f"partition-hold:{envelope.envelope_id}->{destination}",
+            )
+            return
+        if not endpoint.up:
+            self.stats.envelopes_buffered += 1
+            endpoint.pending.append(envelope)
+            return
+        self._deliver(envelope, endpoint)
+
+    def _schedule_delivery(self, envelope: Envelope, destination: SiteId) -> None:
+        """Schedule an immediate delivery attempt (used after recovery)."""
+        self.kernel.schedule(
+            0.0,
+            lambda: self._arrive(envelope, destination),
+            label=f"flush:{envelope.envelope_id}->{destination}",
+        )
+
+    def _deliver(self, envelope: Envelope, endpoint: _SiteEndpoint) -> None:
+        self.stats.envelopes_delivered += 1
+        if self._record_deliveries:
+            self.delivery_log.append(
+                DeliveryRecord(
+                    envelope_id=envelope.envelope_id,
+                    sender=envelope.sender,
+                    receiver=endpoint.site_id,
+                    sent_at=envelope.sent_at,
+                    delivered_at=self.kernel.now(),
+                    kind=envelope.kind,
+                    payload=envelope.payload,
+                )
+            )
+        endpoint.handler(envelope)

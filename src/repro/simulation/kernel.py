@@ -1,0 +1,157 @@
+"""The discrete-event simulation kernel.
+
+The kernel owns the virtual clock and the event queue, and drives every other
+component: network transports schedule message deliveries, replica managers
+schedule transaction completions, workload generators schedule client
+requests.  Everything that happens in a simulation happens inside an event
+callback executed by :meth:`SimulationKernel.run`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from .clock import VirtualClock
+from .events import Event, EventCallback, EventQueue
+from .randomness import RandomSource
+
+
+class SimulationKernel:
+    """Single-threaded deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all random streams pulled from :attr:`random`.
+    start_time:
+        Initial virtual time (seconds).
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self.clock = VirtualClock(start_time)
+        self.random = RandomSource(seed)
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+        self._trace_hooks: list[Callable[[Event], None]] = []
+
+    # ------------------------------------------------------------------ time
+    def now(self) -> float:
+        """Return the current virtual time in seconds."""
+        return self.clock.now()
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(
+        self,
+        delay: float,
+        callback: EventCallback,
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Negative delays are rejected; a zero delay runs the callback at the
+        current time but strictly after all callbacks already scheduled for
+        that time (FIFO among equal timestamps).
+        """
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule an event {delay!r}s in the past")
+        return self._queue.push(
+            self.now() + delay, callback, priority=priority, label=label
+        )
+
+    def schedule_at(
+        self,
+        timestamp: float,
+        callback: EventCallback,
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at the absolute virtual time ``timestamp``."""
+        if timestamp < self.now():
+            raise SimulationError(
+                f"cannot schedule at {timestamp!r}, which is before now ({self.now()!r})"
+            )
+        return self._queue.push(timestamp, callback, priority=priority, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event."""
+        self._queue.cancel(event)
+
+    def add_trace_hook(self, hook: Callable[[Event], None]) -> None:
+        """Register a hook called before each event executes (for debugging)."""
+        self._trace_hooks.append(hook)
+
+    # --------------------------------------------------------------- running
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would be after this virtual time.  The
+            clock is advanced to ``until`` when given.
+        max_events:
+            Safety limit on the number of events to execute.
+
+        Returns the number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("kernel.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self.clock.advance_to(event.time)
+                for hook in self._trace_hooks:
+                    hook(event)
+                event.callback()
+                executed += 1
+                self._events_executed += 1
+        finally:
+            self._running = False
+        if until is not None and self.clock.now() < until:
+            self.clock.advance_to(until)
+        return executed
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run until no events remain (bounded by ``max_events``)."""
+        return self.run(max_events=max_events)
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` call to stop after this event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._queue)
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events executed over the kernel's lifetime."""
+        return self._events_executed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationKernel(now={self.now():.6f}, "
+            f"pending={self.pending_events}, executed={self.events_executed})"
+        )

@@ -1,0 +1,130 @@
+"""Timer helpers built on top of the simulation kernel.
+
+Protocols use :class:`PeriodicTimer` for heartbeat-style activity (failure
+detector probes, workload generators) and :class:`Timeout` for one-shot,
+restartable timeouts (failure-detector suspicion, retransmission).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from .events import Event
+from .kernel import SimulationKernel
+
+
+class PeriodicTimer:
+    """Invokes a callback every ``interval`` seconds until stopped."""
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        label: str = "periodic",
+        start_immediately: bool = False,
+    ) -> None:
+        if interval <= 0.0:
+            raise SimulationError("periodic timer interval must be positive")
+        self._kernel = kernel
+        self._interval = interval
+        self._callback = callback
+        self._label = label
+        self._event: Optional[Event] = None
+        self._running = False
+        self._fire_immediately = start_immediately
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently scheduled."""
+        return self._running
+
+    @property
+    def interval(self) -> float:
+        """The firing interval in seconds."""
+        return self._interval
+
+    def start(self) -> None:
+        """Start (or restart) the timer."""
+        if self._running:
+            return
+        self._running = True
+        delay = 0.0 if self._fire_immediately else self._interval
+        self._event = self._kernel.schedule(delay, self._tick, label=self._label)
+
+    def stop(self) -> None:
+        """Stop the timer; pending firings are cancelled."""
+        self._running = False
+        if self._event is not None:
+            self._kernel.cancel(self._event)
+            self._event = None
+
+    def reschedule(self, interval: float) -> None:
+        """Change the interval; takes effect immediately."""
+        if interval <= 0.0:
+            raise SimulationError("periodic timer interval must be positive")
+        self._interval = interval
+        if self._running:
+            self.stop()
+            self.start()
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._event = self._kernel.schedule(self._interval, self._tick, label=self._label)
+        self._callback()
+
+
+class Timeout:
+    """A restartable one-shot timeout."""
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        duration: float,
+        callback: Callable[[], None],
+        *,
+        label: str = "timeout",
+    ) -> None:
+        if duration <= 0.0:
+            raise SimulationError("timeout duration must be positive")
+        self._kernel = kernel
+        self._duration = duration
+        self._callback = callback
+        self._label = label
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether the timeout is currently counting down."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def duration(self) -> float:
+        """The timeout duration in seconds."""
+        return self._duration
+
+    def start(self) -> None:
+        """Arm the timeout; restarts the countdown if already armed."""
+        self.cancel()
+        self._event = self._kernel.schedule(self._duration, self._fire, label=self._label)
+
+    def restart(self, duration: Optional[float] = None) -> None:
+        """Restart the countdown, optionally with a new duration."""
+        if duration is not None:
+            if duration <= 0.0:
+                raise SimulationError("timeout duration must be positive")
+            self._duration = duration
+        self.start()
+
+    def cancel(self) -> None:
+        """Disarm the timeout without firing it."""
+        if self._event is not None:
+            self._kernel.cancel(self._event)
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

@@ -1,0 +1,18 @@
+"""Correctness verification: 1-copy-serializability and broadcast properties."""
+
+from .onecopy import (
+    OneCopyReport,
+    check_one_copy_serializability,
+    histories_conflict_equivalent,
+    serial_history_from_definitive_order,
+)
+from .properties import BroadcastPropertyReport, check_broadcast_properties
+
+__all__ = [
+    "OneCopyReport",
+    "check_one_copy_serializability",
+    "histories_conflict_equivalent",
+    "serial_history_from_definitive_order",
+    "BroadcastPropertyReport",
+    "check_broadcast_properties",
+]

@@ -1,0 +1,175 @@
+"""1-copy-serializability verification (paper Section 2.2 and Theorem 4.2).
+
+The correctness criterion of the paper: despite the existence of multiple
+copies, the system behaves like one logical copy and only allows
+serializable executions.  Operationally we check, over the per-site commit
+histories produced by a simulation run:
+
+1. every site committed the same set of update transactions
+   (the "1-copy" part — all copies performed the same work);
+2. conflicting transactions committed in the same relative order at every
+   site (conflict equivalence of the local histories);
+3. the union of the local histories has an acyclic conflict graph
+   (serializability of the single logical history);
+4. optionally, that the per-class commit orders follow the definitive total
+   order established by the atomic broadcast (Lemma 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..database.history import (
+    CommittedTransaction,
+    ConflictGraph,
+    SiteHistory,
+)
+from ..errors import VerificationError
+from ..types import ConflictClassId, SiteId, TransactionId
+
+
+@dataclass
+class OneCopyReport:
+    """Result of a 1-copy-serializability check."""
+
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+    sites_checked: int = 0
+    transactions_checked: int = 0
+    classes_checked: int = 0
+
+    def raise_if_violated(self) -> None:
+        """Raise :class:`VerificationError` when the check failed."""
+        if not self.ok:
+            raise VerificationError(
+                "1-copy-serializability violated: " + "; ".join(self.violations)
+            )
+
+
+def check_one_copy_serializability(
+    histories: Dict[SiteId, SiteHistory],
+    *,
+    definitive_order: Optional[Sequence[TransactionId]] = None,
+) -> OneCopyReport:
+    """Check 1-copy-serializability of the per-site histories.
+
+    ``definitive_order`` — when given (the TO-delivery order of the broadcast)
+    — additionally checks Lemma 4.1: per conflict class, every site commits in
+    exactly the definitive order.
+    """
+    report = OneCopyReport(ok=True, sites_checked=len(histories))
+    if not histories:
+        return report
+
+    site_ids = sorted(histories)
+    reference_site = site_ids[0]
+    reference = histories[reference_site]
+
+    # 1. Same transaction set everywhere.
+    reference_set = set(reference.transaction_ids())
+    report.transactions_checked = len(reference_set)
+    for site_id in site_ids[1:]:
+        other_set = set(histories[site_id].transaction_ids())
+        missing = reference_set - other_set
+        extra = other_set - reference_set
+        if missing:
+            report.ok = False
+            report.violations.append(
+                f"site {site_id} is missing {len(missing)} transactions committed at "
+                f"{reference_site} (e.g. {sorted(missing)[:3]})"
+            )
+        if extra:
+            report.ok = False
+            report.violations.append(
+                f"site {site_id} committed {len(extra)} transactions unknown to "
+                f"{reference_site} (e.g. {sorted(extra)[:3]})"
+            )
+
+    # 2. Identical per-class commit order at every site.
+    classes = set()
+    for history in histories.values():
+        classes.update(history.classes())
+    report.classes_checked = len(classes)
+    for conflict_class in sorted(classes):
+        reference_order = reference.commit_order_of_class(conflict_class)
+        for site_id in site_ids[1:]:
+            other_order = histories[site_id].commit_order_of_class(conflict_class)
+            common = [t for t in reference_order if t in set(other_order)]
+            other_common = [t for t in other_order if t in set(reference_order)]
+            if common != other_common:
+                report.ok = False
+                report.violations.append(
+                    f"class {conflict_class}: commit order differs between "
+                    f"{reference_site} and {site_id}"
+                )
+
+    # 3. Serializability of the union history.
+    union_graph = ConflictGraph()
+    for history in histories.values():
+        union_graph.add_history(history.committed_transactions())
+    cycle = union_graph.find_cycle()
+    if cycle is not None:
+        report.ok = False
+        report.violations.append(f"union conflict graph has a cycle: {cycle}")
+
+    # 4. Per-class orders follow the definitive total order (Lemma 4.1).
+    if definitive_order is not None:
+        definitive_positions = {
+            transaction_id: position for position, transaction_id in enumerate(definitive_order)
+        }
+        for site_id, history in histories.items():
+            for conflict_class in history.classes():
+                order = history.commit_order_of_class(conflict_class)
+                known = [t for t in order if t in definitive_positions]
+                positions = [definitive_positions[t] for t in known]
+                if positions != sorted(positions):
+                    report.ok = False
+                    report.violations.append(
+                        f"site {site_id}, class {conflict_class}: commit order does not "
+                        "follow the definitive total order"
+                    )
+    return report
+
+
+def serial_history_from_definitive_order(
+    histories: Dict[SiteId, SiteHistory], definitive_order: Sequence[TransactionId]
+) -> List[CommittedTransaction]:
+    """Build the serial history induced by the definitive total order.
+
+    Theorem 4.2 argues that the serial history derived from the definitive
+    total order is conflict-equivalent to every local history; this helper
+    materialises it (taking each transaction's record from the first site
+    that committed it) so tests can check the equivalence explicitly.
+    """
+    by_id: Dict[TransactionId, CommittedTransaction] = {}
+    for history in histories.values():
+        for committed in history.committed_transactions():
+            by_id.setdefault(committed.transaction_id, committed)
+    serial: List[CommittedTransaction] = []
+    for transaction_id in definitive_order:
+        committed = by_id.get(transaction_id)
+        if committed is not None:
+            serial.append(committed)
+    return serial
+
+
+def histories_conflict_equivalent(
+    first: Sequence[CommittedTransaction], second: Sequence[CommittedTransaction]
+) -> bool:
+    """Return whether two histories over the same transactions are conflict
+    equivalent (they order every conflicting pair identically)."""
+    first_ids = [commit.transaction_id for commit in first]
+    second_ids = [commit.transaction_id for commit in second]
+    if set(first_ids) != set(second_ids):
+        return False
+    second_positions = {transaction_id: i for i, transaction_id in enumerate(second_ids)}
+    from ..database.history import transactions_conflict
+
+    for i, earlier in enumerate(first):
+        for later in first[i + 1:]:
+            if not transactions_conflict(earlier, later):
+                continue
+            if second_positions[earlier.transaction_id] > second_positions[later.transaction_id]:
+                return False
+    return True

@@ -1,0 +1,144 @@
+"""Verification of the Atomic Broadcast with Optimistic Delivery properties.
+
+Section 2.1 of the paper specifies five properties; this module checks them
+over the per-site delivery logs of a finished simulation run:
+
+* Termination      — every broadcast message was Opt- and TO-delivered at
+                     every (up) site.
+* Global Agreement — the sets of Opt-/TO-delivered messages agree across sites.
+* Local Agreement  — every Opt-delivered message was eventually TO-delivered.
+* Global Order     — all sites TO-deliver in the same order.
+* Local Order      — each site Opt-delivers a message before TO-delivering it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..broadcast.interfaces import AtomicBroadcastEndpoint
+from ..errors import VerificationError
+from ..types import MessageId, SiteId
+
+
+@dataclass
+class BroadcastPropertyReport:
+    """Result of checking the five OAB properties."""
+
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+    messages_checked: int = 0
+    sites_checked: int = 0
+
+    def raise_if_violated(self) -> None:
+        """Raise :class:`VerificationError` when any property was violated."""
+        if not self.ok:
+            raise VerificationError(
+                "atomic broadcast properties violated: " + "; ".join(self.violations)
+            )
+
+
+def check_broadcast_properties(
+    endpoints: Dict[SiteId, AtomicBroadcastEndpoint],
+    *,
+    expected_broadcasts: Optional[Iterable[MessageId]] = None,
+) -> BroadcastPropertyReport:
+    """Check the OAB properties over the delivery logs of ``endpoints``.
+
+    ``expected_broadcasts`` — the identifiers returned by ``broadcast()``
+    calls; when omitted, the union of all TO-delivery logs is used as the
+    reference set (sufficient for Global Agreement / Order but weaker for
+    Termination).
+    """
+    report = BroadcastPropertyReport(ok=True, sites_checked=len(endpoints))
+    if not endpoints:
+        return report
+    site_ids = sorted(endpoints)
+
+    if expected_broadcasts is None:
+        reference_set = set()
+        for endpoint in endpoints.values():
+            reference_set.update(endpoint.to_delivery_log)
+    else:
+        reference_set = set(expected_broadcasts)
+    report.messages_checked = len(reference_set)
+
+    # Termination + Global Agreement (set equality of deliveries).
+    for site_id in site_ids:
+        endpoint = endpoints[site_id]
+        opt_set = set(endpoint.opt_delivery_log)
+        to_set = set(endpoint.to_delivery_log)
+        missing_opt = reference_set - opt_set
+        missing_to = reference_set - to_set
+        if missing_opt:
+            report.ok = False
+            report.violations.append(
+                f"Termination/Agreement: site {site_id} never Opt-delivered "
+                f"{len(missing_opt)} messages (e.g. {sorted(missing_opt)[:3]})"
+            )
+        if missing_to:
+            report.ok = False
+            report.violations.append(
+                f"Termination/Agreement: site {site_id} never TO-delivered "
+                f"{len(missing_to)} messages (e.g. {sorted(missing_to)[:3]})"
+            )
+        # Local Agreement: opt-delivered implies eventually TO-delivered.
+        never_confirmed = opt_set - to_set
+        if never_confirmed:
+            report.ok = False
+            report.violations.append(
+                f"Local Agreement: site {site_id} Opt-delivered but never TO-delivered "
+                f"{len(never_confirmed)} messages (e.g. {sorted(never_confirmed)[:3]})"
+            )
+
+    # Global Order: the TO-delivery sequences agree (restricted to messages
+    # delivered everywhere, which matters if a run was cut short).
+    common = set(reference_set)
+    for endpoint in endpoints.values():
+        common &= set(endpoint.to_delivery_log)
+    reference_site = site_ids[0]
+    reference_order = [
+        message_id
+        for message_id in endpoints[reference_site].to_delivery_log
+        if message_id in common
+    ]
+    for site_id in site_ids[1:]:
+        other_order = [
+            message_id
+            for message_id in endpoints[site_id].to_delivery_log
+            if message_id in common
+        ]
+        if other_order != reference_order:
+            report.ok = False
+            report.violations.append(
+                f"Global Order: TO-delivery order differs between {reference_site} "
+                f"and {site_id}"
+            )
+
+    # Local Order: Opt-deliver happens before TO-deliver at each site.
+    for site_id in site_ids:
+        endpoint = endpoints[site_id]
+        opt_positions = {
+            message_id: position
+            for position, message_id in enumerate(endpoint.opt_delivery_log)
+        }
+        for message_id in endpoint.to_delivery_log:
+            if message_id not in opt_positions:
+                report.ok = False
+                report.violations.append(
+                    f"Local Order: site {site_id} TO-delivered {message_id} without "
+                    "Opt-delivering it"
+                )
+                continue
+            record = endpoint.__dict__.get("_messages", {}).get(message_id)
+            if record is not None and record.opt_delivered_at is not None:
+                if (
+                    record.to_delivered_at is not None
+                    and record.to_delivered_at < record.opt_delivered_at
+                ):
+                    report.ok = False
+                    report.violations.append(
+                        f"Local Order: site {site_id} TO-delivered {message_id} before "
+                        "Opt-delivering it"
+                    )
+    return report

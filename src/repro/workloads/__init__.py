@@ -1,0 +1,39 @@
+"""Workload specifications, standard stored procedures and the generator."""
+
+from .generator import (
+    ClusterLike,
+    GeneratedOperation,
+    WorkloadGenerator,
+    WorkloadPlan,
+)
+from .procedures import (
+    READ_CLASSES_QUERY,
+    SUM_ALL_QUERY,
+    UPDATE_PROCEDURE,
+    build_conflict_map,
+    build_initial_data,
+    build_partitioned_registry,
+)
+from .specs import (
+    PARTITION_KEY_PREFIX,
+    WorkloadSpec,
+    partition_class_id,
+    partition_key,
+)
+
+__all__ = [
+    "ClusterLike",
+    "GeneratedOperation",
+    "WorkloadGenerator",
+    "WorkloadPlan",
+    "READ_CLASSES_QUERY",
+    "SUM_ALL_QUERY",
+    "UPDATE_PROCEDURE",
+    "build_conflict_map",
+    "build_initial_data",
+    "build_partitioned_registry",
+    "WorkloadSpec",
+    "PARTITION_KEY_PREFIX",
+    "partition_class_id",
+    "partition_key",
+]

@@ -1,0 +1,124 @@
+"""Unit tests for the rotating-coordinator consensus substrate."""
+
+import pytest
+
+from repro.broadcast.consensus import CONSENSUS_KIND, ConsensusParticipant
+from repro.errors import ConsensusError
+from repro.failure import CrashManager
+from repro.network import NetworkTransport, UniformLatency
+from repro.network.dispatcher import SiteDispatcher
+from repro.simulation import SimulationKernel
+
+
+def build_group(site_count=3, seed=0, round_timeout=0.05):
+    kernel = SimulationKernel(seed=seed)
+    transport = NetworkTransport(kernel, UniformLatency(0.001, 0.003))
+    sites = [f"N{index + 1}" for index in range(site_count)]
+    participants = {}
+    decisions = {}
+    for site in sites:
+        dispatcher = SiteDispatcher(transport, site)
+        participant = ConsensusParticipant(
+            kernel, transport, site, sites, round_timeout=round_timeout
+        )
+        dispatcher.register_kind(CONSENSUS_KIND, participant.on_envelope)
+        decisions[site] = {}
+        participant.add_decision_listener(
+            lambda instance, value, site=site: decisions[site].__setitem__(instance, value)
+        )
+        participants[site] = participant
+    return kernel, transport, participants, decisions
+
+
+class TestConsensusBasics:
+    def test_all_participants_decide_the_same_value(self):
+        kernel, transport, participants, decisions = build_group()
+        for site, participant in participants.items():
+            participant.propose("instance-1", f"value-from-{site}")
+        kernel.run_until_idle()
+        decided = {decisions[site]["instance-1"] for site in participants}
+        assert len(decided) == 1
+
+    def test_decided_value_was_proposed_by_someone(self):
+        kernel, transport, participants, decisions = build_group()
+        proposals = {}
+        for site, participant in participants.items():
+            proposals[site] = f"value-from-{site}"
+            participant.propose("instance-1", proposals[site])
+        kernel.run_until_idle()
+        decided = decisions["N1"]["instance-1"]
+        assert decided in proposals.values()
+
+    def test_multiple_independent_instances(self):
+        kernel, transport, participants, decisions = build_group()
+        for instance in ["a", "b", "c"]:
+            for site, participant in participants.items():
+                participant.propose(instance, f"{instance}:{site}")
+        kernel.run_until_idle()
+        for instance in ["a", "b", "c"]:
+            values = {decisions[site][instance] for site in participants}
+            assert len(values) == 1
+
+    def test_decision_is_queryable(self):
+        kernel, transport, participants, decisions = build_group()
+        for site, participant in participants.items():
+            participant.propose("q", site)
+        kernel.run_until_idle()
+        assert participants["N1"].decided("q")
+        assert participants["N1"].decision_for("q") == decisions["N1"]["q"]
+
+    def test_decision_for_undecided_instance_raises(self):
+        kernel, transport, participants, decisions = build_group()
+        with pytest.raises(ConsensusError):
+            participants["N1"].decision_for("never-proposed")
+
+    def test_membership_validation(self):
+        kernel = SimulationKernel()
+        transport = NetworkTransport(kernel, UniformLatency(0.001, 0.002))
+        SiteDispatcher(transport, "N1")
+        with pytest.raises(ConsensusError):
+            ConsensusParticipant(kernel, transport, "N9", ["N1", "N2"])
+
+    def test_invalid_round_timeout_rejected(self):
+        kernel = SimulationKernel()
+        transport = NetworkTransport(kernel, UniformLatency(0.001, 0.002))
+        SiteDispatcher(transport, "N1")
+        with pytest.raises(ConsensusError):
+            ConsensusParticipant(kernel, transport, "N1", ["N1"], round_timeout=0.0)
+
+
+class TestConsensusWithFailures:
+    def test_coordinator_crash_before_proposing_still_decides(self):
+        kernel, transport, participants, decisions = build_group(site_count=5)
+        crash_manager = CrashManager(kernel, transport)
+        # Crash the round-0 coordinator (N1) before anything happens.
+        crash_manager.crash_now("N1")
+        for site in ["N2", "N3", "N4", "N5"]:
+            participants[site].propose("crashy", f"value-{site}")
+        kernel.run(until=3.0)
+        surviving = ["N2", "N3", "N4", "N5"]
+        decided_values = {
+            decisions[site].get("crashy") for site in surviving if "crashy" in decisions[site]
+        }
+        assert len(decided_values) == 1
+        assert None not in decided_values
+        assert all("crashy" in decisions[site] for site in surviving)
+
+    def test_minority_crash_does_not_block_agreement(self):
+        kernel, transport, participants, decisions = build_group(site_count=5)
+        crash_manager = CrashManager(kernel, transport)
+        for site, participant in participants.items():
+            participant.propose("majority", f"value-{site}")
+        kernel.run(until=0.002)
+        crash_manager.crash_now("N5")
+        kernel.run(until=3.0)
+        surviving = ["N1", "N2", "N3", "N4"]
+        assert all("majority" in decisions[site] for site in surviving)
+        assert len({decisions[site]["majority"] for site in surviving}) == 1
+
+    def test_coordinator_of_rotates_with_round(self):
+        kernel, transport, participants, decisions = build_group(site_count=3)
+        participant = participants["N1"]
+        assert participant.coordinator_of(0) == "N1"
+        assert participant.coordinator_of(1) == "N2"
+        assert participant.coordinator_of(3) == "N1"

@@ -1,0 +1,123 @@
+"""Unit tests for reliable broadcast and FIFO broadcast."""
+
+import pytest
+
+from repro.broadcast import FifoBroadcast, ReliableBroadcast
+from repro.failure import CrashManager
+from repro.network import ConstantLatency, NetworkTransport, UniformLatency
+from repro.network.dispatcher import SiteDispatcher
+from repro.simulation import SimulationKernel
+
+
+def build_reliable_group(site_count=3, seed=0, echo=True, latency=None):
+    kernel = SimulationKernel(seed=seed)
+    transport = NetworkTransport(kernel, latency or ConstantLatency(0.001))
+    endpoints = {}
+    deliveries = {}
+    for index in range(site_count):
+        site = f"N{index + 1}"
+        dispatcher = SiteDispatcher(transport, site)
+        endpoint = ReliableBroadcast(
+            kernel, transport, site, echo_on_first_receipt=echo
+        )
+        dispatcher.register_kind(endpoint.kind, endpoint.on_envelope)
+        deliveries[site] = []
+        endpoint.add_listener(
+            lambda rb_id, origin, content, site=site: deliveries[site].append(content)
+        )
+        endpoints[site] = endpoint
+    return kernel, transport, endpoints, deliveries
+
+
+class TestReliableBroadcast:
+    def test_all_sites_deliver_exactly_once(self):
+        kernel, transport, endpoints, deliveries = build_reliable_group()
+        endpoints["N1"].broadcast("payload")
+        kernel.run_until_idle()
+        assert all(delivered == ["payload"] for delivered in deliveries.values())
+
+    def test_duplicate_transmissions_are_suppressed(self):
+        kernel, transport, endpoints, deliveries = build_reliable_group(echo=True)
+        for index in range(5):
+            endpoints["N2"].broadcast(index)
+        kernel.run_until_idle()
+        # With echoing every message travels several times, but each site
+        # delivers each message exactly once.
+        assert all(sorted(delivered) == [0, 1, 2, 3, 4] for delivered in deliveries.values())
+
+    def test_sender_crash_after_partial_multicast_is_masked_by_echo(self):
+        kernel, transport, endpoints, deliveries = build_reliable_group(
+            echo=True, latency=UniformLatency(0.001, 0.004)
+        )
+        crash_manager = CrashManager(kernel, transport)
+        endpoints["N1"].broadcast("survives")
+        # Crash the sender immediately: its own copy may be lost, but every
+        # correct site that received the message echoes it to the others.
+        crash_manager.crash_now("N1")
+        kernel.run_until_idle()
+        assert deliveries["N2"] == ["survives"]
+        assert deliveries["N3"] == ["survives"]
+
+    def test_has_delivered_and_count(self):
+        kernel, transport, endpoints, deliveries = build_reliable_group()
+        rb_id = endpoints["N1"].broadcast("x")
+        kernel.run_until_idle()
+        assert endpoints["N2"].has_delivered(rb_id)
+        assert endpoints["N2"].delivered_count == 1
+
+    def test_foreign_kind_envelopes_are_ignored(self):
+        kernel, transport, endpoints, deliveries = build_reliable_group()
+        transport.unicast("N1", "N2", "not-reliable", kind="other.kind")
+        kernel.run_until_idle()
+        assert deliveries["N2"] == []
+
+
+def build_fifo_group(site_count=3, seed=0, latency=None):
+    kernel = SimulationKernel(seed=seed)
+    transport = NetworkTransport(kernel, latency or UniformLatency(0.001, 0.005))
+    endpoints = {}
+    deliveries = {}
+    for index in range(site_count):
+        site = f"N{index + 1}"
+        dispatcher = SiteDispatcher(transport, site)
+        endpoint = FifoBroadcast(kernel, transport, site)
+        dispatcher.register_kind("fifobcast.data", endpoint.on_envelope)
+        deliveries[site] = []
+        endpoint.add_listener(
+            lambda fifo_id, origin, content, site=site: deliveries[site].append(
+                (origin, content)
+            )
+        )
+        endpoints[site] = endpoint
+    return kernel, transport, endpoints, deliveries
+
+
+class TestFifoBroadcast:
+    def test_per_sender_order_is_preserved_despite_jitter(self):
+        kernel, transport, endpoints, deliveries = build_fifo_group()
+        for index in range(20):
+            endpoints["N1"].broadcast(index)
+        kernel.run_until_idle()
+        for site, delivered in deliveries.items():
+            values = [content for origin, content in delivered if origin == "N1"]
+            assert values == list(range(20))
+
+    def test_interleaving_of_different_senders_is_allowed(self):
+        kernel, transport, endpoints, deliveries = build_fifo_group()
+        for index in range(10):
+            endpoints["N1"].broadcast(("a", index))
+            endpoints["N2"].broadcast(("b", index))
+        kernel.run_until_idle()
+        for delivered in deliveries.values():
+            a_values = [content for origin, content in delivered if origin == "N1"]
+            b_values = [content for origin, content in delivered if origin == "N2"]
+            assert a_values == [("a", index) for index in range(10)]
+            assert b_values == [("b", index) for index in range(10)]
+
+    def test_every_site_delivers_everything(self):
+        kernel, transport, endpoints, deliveries = build_fifo_group(site_count=4)
+        for site in ["N1", "N2", "N3", "N4"]:
+            for index in range(5):
+                endpoints[site].broadcast(index)
+        kernel.run_until_idle()
+        assert all(len(delivered) == 20 for delivered in deliveries.values())

@@ -1,0 +1,102 @@
+"""Tests for coordinator/sequencer failover in the cluster facade.
+
+The site that establishes the definitive total order can crash; the cluster
+promotes the lowest-id surviving site, which confirms every message the old
+coordinator left unordered, and processing continues.  A recovering site
+adopts the current coordinator instead of competing with it.
+"""
+
+import pytest
+
+from repro import ClusterConfig, ProcedureRegistry, ReplicatedDatabase
+from repro.core.config import BROADCAST_CONSERVATIVE, BROADCAST_OPTIMISTIC
+from repro.failure import CrashSchedule
+from repro.verification import check_one_copy_serializability
+
+
+def build_registry():
+    registry = ProcedureRegistry()
+
+    @registry.procedure("add", conflict_class=lambda p: f"C{p['slot'] % 3}", duration=0.002)
+    def add(ctx, params):
+        key = f"slot:{params['slot']}"
+        ctx.write(key, ctx.read(key) + 1)
+
+    return registry
+
+
+def build_cluster(broadcast, seed=3):
+    return ReplicatedDatabase(
+        ClusterConfig(
+            site_count=4,
+            seed=seed,
+            broadcast=broadcast,
+            echo_on_first_receipt=True,
+        ),
+        build_registry(),
+        initial_data={f"slot:{index}": 0 for index in range(6)},
+    )
+
+
+def submit_from_survivors(cluster, count, start=0.0, spacing=0.004, sites=("N2", "N3", "N4")):
+    for index in range(count):
+        cluster.kernel.schedule_at(
+            start + index * spacing,
+            lambda site=sites[index % len(sites)], index=index: cluster.submit(
+                site, "add", {"slot": index % 6}
+            ),
+        )
+
+
+@pytest.mark.parametrize("broadcast", [BROADCAST_OPTIMISTIC, BROADCAST_CONSERVATIVE])
+def test_processing_continues_after_coordinator_crash(broadcast):
+    cluster = build_cluster(broadcast)
+    # Phase 1: load while N1 (the initial coordinator) is alive.
+    submit_from_survivors(cluster, count=10, start=0.0)
+    # N1 crashes after the first phase completes; phase 2 is submitted after
+    # the crash and must still commit at the surviving sites.
+    cluster.crash_manager.apply_schedule(CrashSchedule().crash("N1", at=0.100))
+    submit_from_survivors(cluster, count=10, start=0.150)
+    cluster.run_until_idle()
+
+    assert cluster.coordinator_site() == "N2"
+    surviving = ["N2", "N3", "N4"]
+    for site in surviving:
+        assert cluster.replica(site).committed_count() == 20
+    histories = {site: cluster.replica(site).history for site in surviving}
+    check_one_copy_serializability(histories).raise_if_violated()
+    contents = {site: cluster.replica(site).database_contents() for site in surviving}
+    assert contents["N2"] == contents["N3"] == contents["N4"]
+
+
+def test_recovered_old_coordinator_does_not_reclaim_the_role():
+    cluster = build_cluster(BROADCAST_OPTIMISTIC)
+    submit_from_survivors(cluster, count=8, start=0.0)
+    cluster.crash_manager.apply_schedule(
+        CrashSchedule().crash("N1", at=0.080).recover("N1", at=0.200)
+    )
+    submit_from_survivors(cluster, count=8, start=0.250)
+    cluster.run_until_idle()
+
+    # N2 stays coordinator after N1 recovers; N1's endpoint points at N2.
+    assert cluster.coordinator_site() == "N2"
+    assert cluster.broadcast_endpoint("N1").coordinator_site == "N2"
+    assert not cluster.broadcast_endpoint("N1").is_coordinator
+    # The recovered site catches up on everything it missed.
+    assert cluster.replica("N1").committed_count() == 16
+    assert cluster.database_divergence() == {}
+    check_one_copy_serializability(cluster.histories()).raise_if_violated()
+
+
+def test_messages_in_flight_at_crash_time_are_still_ordered():
+    cluster = build_cluster(BROADCAST_OPTIMISTIC, seed=9)
+    # Submit from survivors shortly before the coordinator crashes, so some
+    # requests are opt-delivered but not yet confirmed when N1 dies.
+    submit_from_survivors(cluster, count=6, start=0.0, spacing=0.001)
+    cluster.crash_manager.apply_schedule(CrashSchedule().crash("N1", at=0.004))
+    cluster.run_until_idle()
+    surviving = ["N2", "N3", "N4"]
+    for site in surviving:
+        assert cluster.replica(site).committed_count() == 6
+    histories = {site: cluster.replica(site).history for site in surviving}
+    check_one_copy_serializability(histories).raise_if_violated()

@@ -1,0 +1,243 @@
+"""Tests for the fine-granularity (per-object) OTP scheduler extension.
+
+This is the generalisation of the class-queue scheme that the paper sketches
+in Sections 2.3 and 6 (reference [13]): transactions predeclare the objects
+they access and are queued per object instead of per class, which lets
+transactions of overlapping-but-different access sets interleave while still
+committing conflicting transactions in the definitive total order.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.execution import ExecutionEngine
+from repro.core.lockscheduler import LockBasedOTPScheduler
+from repro.database import (
+    MultiVersionStore,
+    ProcedureRegistry,
+    StoredProcedure,
+    Transaction,
+    TransactionRequest,
+)
+from repro.errors import SchedulerError
+from repro.simulation import SimulationKernel
+
+
+class LockHarness:
+    """Single-site harness around the lock-based scheduler."""
+
+    def __init__(self, duration=0.010, seed=0):
+        self.kernel = SimulationKernel(seed=seed)
+        self.store = MultiVersionStore()
+        self.store.load_many({f"obj:{index}": 0 for index in range(12)})
+        registry = ProcedureRegistry()
+
+        def body(ctx, params):
+            for key in params["keys"]:
+                ctx.write(key, ctx.read_or_default(key, 0) + 1)
+            return params["keys"]
+
+        registry.register(
+            StoredProcedure(name="touch", body=body, conflict_class="__any__", duration=duration)
+        )
+        self.engine = ExecutionEngine(self.kernel, self.store, registry, "N1")
+        self.committed = []
+        self.scheduler = LockBasedOTPScheduler(
+            self.kernel,
+            self.engine,
+            keys_of=lambda txn: txn.request.parameters["keys"],
+            commit_callback=self._commit,
+        )
+
+    def _commit(self, transaction):
+        self.committed.append(transaction.transaction_id)
+        for key, value in sorted(transaction.workspace.items()):
+            self.store.install(
+                key,
+                value,
+                created_index=transaction.global_index,
+                created_by=transaction.transaction_id,
+            )
+
+    def transaction(self, txn_id, keys):
+        request = TransactionRequest(
+            transaction_id=txn_id,
+            procedure_name="touch",
+            parameters={"keys": list(keys)},
+            conflict_class="__any__",
+            origin_site="N1",
+            submitted_at=self.kernel.now(),
+        )
+        return Transaction(request=request, site_id="N1")
+
+    def opt(self, transaction):
+        self.scheduler.on_opt_deliver(transaction)
+
+    def to(self, transaction, index):
+        self.scheduler.on_to_deliver(transaction.transaction_id, index)
+
+
+class TestLockSchedulerBasics:
+    def test_single_transaction_executes_and_commits(self):
+        harness = LockHarness()
+        txn = harness.transaction("T1", ["obj:0", "obj:1"])
+        harness.opt(txn)
+        assert txn.executing
+        harness.to(txn, 0)
+        harness.kernel.run_until_idle()
+        assert harness.committed == ["T1"]
+        assert harness.store.read_latest("obj:0") == 1
+
+    def test_disjoint_transactions_run_concurrently(self):
+        harness = LockHarness()
+        first = harness.transaction("T1", ["obj:0"])
+        second = harness.transaction("T2", ["obj:1"])
+        harness.opt(first)
+        harness.opt(second)
+        assert first.executing and second.executing
+
+    def test_overlapping_transactions_serialise_on_the_shared_object(self):
+        harness = LockHarness()
+        first = harness.transaction("T1", ["obj:0", "obj:1"])
+        second = harness.transaction("T2", ["obj:1", "obj:2"])
+        harness.opt(first)
+        harness.opt(second)
+        assert first.executing
+        assert not second.executing
+        harness.to(first, 0)
+        harness.to(second, 1)
+        harness.kernel.run_until_idle()
+        assert harness.committed == ["T1", "T2"]
+
+    def test_finer_granularity_allows_more_concurrency_than_class_queues(self):
+        """Two transactions of the same 'class' but disjoint objects overlap here."""
+        harness = LockHarness(duration=0.010)
+        first = harness.transaction("T1", ["obj:0"])
+        second = harness.transaction("T2", ["obj:5"])
+        harness.opt(first)
+        harness.opt(second)
+        harness.to(first, 0)
+        harness.to(second, 1)
+        harness.kernel.run_until_idle()
+        # Both executed in parallel: total time is one execution, not two.
+        assert harness.kernel.now() == pytest.approx(0.010)
+        assert set(harness.committed) == {"T1", "T2"}
+
+    def test_empty_access_set_rejected(self):
+        harness = LockHarness()
+        with pytest.raises(SchedulerError):
+            harness.opt(harness.transaction("T1", []))
+
+    def test_duplicate_opt_delivery_rejected(self):
+        harness = LockHarness()
+        txn = harness.transaction("T1", ["obj:0"])
+        harness.opt(txn)
+        with pytest.raises(SchedulerError):
+            harness.opt(txn)
+
+
+class TestLockSchedulerReordering:
+    def test_mis_ordered_executing_transaction_is_undone_and_redone(self):
+        harness = LockHarness(duration=0.020)
+        first = harness.transaction("T1", ["obj:0"])
+        second = harness.transaction("T2", ["obj:0"])
+        harness.opt(first)   # tentative: T1 before T2
+        harness.opt(second)
+        assert first.executing
+        harness.to(second, 0)  # definitive: T2 first
+        assert first.reorder_aborts == 1
+        assert second.executing
+        harness.to(first, 1)
+        harness.kernel.run_until_idle()
+        assert harness.committed == ["T2", "T1"]
+
+    def test_mismatch_on_disjoint_objects_costs_nothing(self):
+        harness = LockHarness(duration=0.005)
+        first = harness.transaction("T1", ["obj:0"])
+        second = harness.transaction("T2", ["obj:1"])
+        harness.opt(second)  # tentative order: T2 before T1
+        harness.opt(first)
+        harness.to(first, 0)   # definitive order: T1 before T2
+        harness.to(second, 1)
+        harness.kernel.run_until_idle()
+        assert first.reorder_aborts == 0
+        assert second.reorder_aborts == 0
+        assert set(harness.committed) == {"T1", "T2"}
+
+    def test_partially_overlapping_chains_commit_in_definitive_order(self):
+        harness = LockHarness(duration=0.004)
+        t1 = harness.transaction("T1", ["obj:0", "obj:1"])
+        t2 = harness.transaction("T2", ["obj:1", "obj:2"])
+        t3 = harness.transaction("T3", ["obj:2", "obj:3"])
+        for txn in (t1, t2, t3):
+            harness.opt(txn)
+        # Definitive order reverses the tentative one.
+        harness.to(t3, 0)
+        harness.to(t2, 1)
+        harness.to(t1, 2)
+        harness.kernel.run_until_idle()
+        harness.scheduler.check_invariants()
+        assert harness.committed == ["T3", "T2", "T1"]
+
+    def test_committable_head_is_never_aborted_by_later_to_delivery(self):
+        harness = LockHarness(duration=0.050)
+        t1 = harness.transaction("T1", ["obj:0"])
+        t2 = harness.transaction("T2", ["obj:0"])
+        harness.opt(t1)
+        harness.opt(t2)
+        harness.to(t1, 0)   # T1 committable, still executing
+        harness.to(t2, 1)   # must not disturb T1
+        assert t1.reorder_aborts == 0
+        assert t1.executing
+        harness.kernel.run_until_idle()
+        assert harness.committed == ["T1", "T2"]
+
+    @given(
+        count=st.integers(min_value=1, max_value=6),
+        order_seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_all_transactions_commit_and_conflicts_follow_to_order(
+        self, count, order_seed
+    ):
+        """Random overlapping access sets + random definitive order: everything
+        commits, and any two transactions sharing an object commit in
+        definitive order."""
+        import random
+
+        rng = random.Random(order_seed)
+        harness = LockHarness(duration=0.002, seed=order_seed)
+        transactions = []
+        for index in range(count):
+            keys = sorted(
+                {f"obj:{rng.randrange(6)}" for _ in range(rng.randint(1, 3))}
+            )
+            transactions.append(harness.transaction(f"T{index}", keys))
+        for txn in transactions:
+            harness.opt(txn)
+        definitive = list(range(count))
+        rng.shuffle(definitive)
+        for position, txn_index in enumerate(definitive):
+            harness.to(transactions[txn_index], position)
+        harness.kernel.run_until_idle()
+        harness.scheduler.check_invariants()
+        assert len(harness.committed) == count
+        committed_position = {txn_id: i for i, txn_id in enumerate(harness.committed)}
+        to_position = {
+            transactions[txn_index].transaction_id: position
+            for position, txn_index in enumerate(definitive)
+        }
+        for i, first in enumerate(transactions):
+            for second in transactions[i + 1:]:
+                shared = set(first.request.parameters["keys"]) & set(
+                    second.request.parameters["keys"]
+                )
+                if not shared:
+                    continue
+                assert (
+                    committed_position[first.transaction_id]
+                    < committed_position[second.transaction_id]
+                ) == (
+                    to_position[first.transaction_id] < to_position[second.transaction_id]
+                )

@@ -1,0 +1,284 @@
+"""Tests for the lock table, undo/redo recovery and history/conflict graphs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database import (
+    CommittedTransaction,
+    ConflictGraph,
+    DeadlockDetected,
+    LockMode,
+    LockTable,
+    MultiVersionStore,
+    RedoLog,
+    SiteHistory,
+    UndoLog,
+    history_is_serializable,
+    transactions_conflict,
+)
+from repro.errors import VerificationError
+
+
+class TestLockTable:
+    def test_exclusive_lock_granted_then_blocks_others(self):
+        table = LockTable()
+        assert table.acquire("T1", "x", LockMode.EXCLUSIVE)
+        assert not table.acquire("T2", "x", LockMode.EXCLUSIVE)
+        assert table.holders_of("x") == ["T1"]
+        assert table.waiting_on("x") == ["T2"]
+
+    def test_shared_locks_are_compatible(self):
+        table = LockTable()
+        assert table.acquire("T1", "x", LockMode.SHARED)
+        assert table.acquire("T2", "x", LockMode.SHARED)
+        assert set(table.holders_of("x")) == {"T1", "T2"}
+
+    def test_shared_then_exclusive_waits(self):
+        table = LockTable()
+        table.acquire("T1", "x", LockMode.SHARED)
+        assert not table.acquire("T2", "x", LockMode.EXCLUSIVE)
+
+    def test_release_grants_next_waiter(self):
+        table = LockTable()
+        table.acquire("T1", "x", LockMode.EXCLUSIVE)
+        table.acquire("T2", "x", LockMode.EXCLUSIVE)
+        unblocked = table.release("T1", "x")
+        assert unblocked == ["T2"]
+        assert table.holders_of("x") == ["T2"]
+
+    def test_fifo_fairness_shared_behind_exclusive_waits(self):
+        table = LockTable()
+        table.acquire("T1", "x", LockMode.EXCLUSIVE)
+        table.acquire("T2", "x", LockMode.EXCLUSIVE)
+        assert not table.acquire("T3", "x", LockMode.SHARED)
+
+    def test_reentrant_acquire_is_granted(self):
+        table = LockTable()
+        table.acquire("T1", "x", LockMode.SHARED)
+        assert table.acquire("T1", "x", LockMode.SHARED)
+
+    def test_upgrade_from_shared_to_exclusive_when_sole_holder(self):
+        table = LockTable()
+        table.acquire("T1", "x", LockMode.SHARED)
+        assert table.acquire("T1", "x", LockMode.EXCLUSIVE)
+        assert table.holds("T1", "x", LockMode.EXCLUSIVE)
+
+    def test_upgrade_blocked_when_other_holders(self):
+        table = LockTable()
+        table.acquire("T1", "x", LockMode.SHARED)
+        table.acquire("T2", "x", LockMode.SHARED)
+        assert not table.acquire("T1", "x", LockMode.EXCLUSIVE)
+
+    def test_release_all_cleans_up_and_unblocks(self):
+        table = LockTable()
+        table.acquire("T1", "x", LockMode.EXCLUSIVE)
+        table.acquire("T1", "y", LockMode.EXCLUSIVE)
+        table.acquire("T2", "x", LockMode.EXCLUSIVE)
+        unblocked = table.release_all("T1")
+        assert "T2" in unblocked
+        assert table.locks_held_by("T1") == set()
+
+    def test_deadlock_detection(self):
+        table = LockTable()
+        table.acquire("T1", "x", LockMode.EXCLUSIVE)
+        table.acquire("T2", "y", LockMode.EXCLUSIVE)
+        assert not table.acquire("T1", "y", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockDetected):
+            table.acquire("T2", "x", LockMode.EXCLUSIVE)
+        assert table.deadlocks_detected == 1
+
+    def test_no_deadlock_detection_when_disabled(self):
+        table = LockTable(detect_deadlocks=False)
+        table.acquire("T1", "x", LockMode.EXCLUSIVE)
+        table.acquire("T2", "y", LockMode.EXCLUSIVE)
+        table.acquire("T1", "y", LockMode.EXCLUSIVE)
+        assert not table.acquire("T2", "x", LockMode.EXCLUSIVE)
+
+    def test_wait_for_graph(self):
+        table = LockTable()
+        table.acquire("T1", "x", LockMode.EXCLUSIVE)
+        table.acquire("T2", "x", LockMode.EXCLUSIVE)
+        graph = table.wait_for_graph()
+        assert graph == {"T2": {"T1"}}
+
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.sampled_from(["T1", "T2", "T3"]),
+                st.sampled_from(["x", "y"]),
+                st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE]),
+            ),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exclusive_holders_are_always_sole_holders(self, operations):
+        """Property: no object ever has an exclusive holder together with another holder."""
+        table = LockTable()
+        for transaction_id, key, mode in operations:
+            try:
+                table.acquire(transaction_id, key, mode)
+            except DeadlockDetected:
+                table.release_all(transaction_id)
+        for key in ("x", "y"):
+            holders = table.holders_of(key)
+            exclusive = [
+                holder for holder in holders if table.holds(holder, key, LockMode.EXCLUSIVE)
+            ]
+            if exclusive:
+                assert len(holders) == 1
+
+
+class TestUndoRedo:
+    def test_eager_apply_and_rollback(self):
+        store = MultiVersionStore()
+        store.load("x", 1)
+        undo = UndoLog(store)
+        undo.record_and_apply("T1", "x", 99, index=0)
+        assert store.read_latest("x") == 99
+        assert undo.has_pending("T1")
+        undone = undo.rollback("T1")
+        assert undone == 1
+        assert store.read_latest("x") == 1
+        assert not undo.has_pending("T1")
+
+    def test_forget_after_commit(self):
+        store = MultiVersionStore()
+        store.load("x", 1)
+        undo = UndoLog(store)
+        undo.record_and_apply("T1", "x", 2, index=0)
+        undo.forget("T1")
+        assert undo.rollback("T1") == 0
+        assert store.read_latest("x") == 2
+
+    def test_rollback_of_multiple_writes_restores_everything(self):
+        store = MultiVersionStore()
+        store.load_many({"x": 1, "y": 2})
+        undo = UndoLog(store)
+        undo.record_and_apply("T1", "x", 10, index=0)
+        undo.record_and_apply("T1", "y", 20, index=0)
+        undo.rollback("T1")
+        assert store.read_latest("x") == 1
+        assert store.read_latest("y") == 2
+
+    def test_redo_log_replay_catches_up_a_fresh_store(self):
+        redo = RedoLog()
+        redo.append_commit("T0", {"x": 1}, index=0)
+        redo.append_commit("T1", {"x": 5, "y": 7}, index=1)
+        redo.append_commit("T2", {"y": 9}, index=2)
+        fresh = MultiVersionStore()
+        fresh.load_many({"x": 0, "y": 0})
+        replayed = redo.replay_into(fresh, after_index=0)
+        assert replayed == 3  # T1 (2 writes) + T2 (1 write)
+        assert fresh.read_latest("x") == 5
+        assert fresh.read_latest("y") == 9
+        assert len(redo) == 4
+
+    def test_records_after_filters_by_index(self):
+        redo = RedoLog()
+        redo.append_commit("T0", {"x": 1}, index=0)
+        redo.append_commit("T5", {"x": 2}, index=5)
+        assert [record.index for record in redo.records_after(0)] == [5]
+
+
+def committed(txn_id, conflict_class, index, writes=(), reads=()):
+    return CommittedTransaction(
+        transaction_id=txn_id,
+        conflict_class=conflict_class,
+        global_index=index,
+        committed_at=float(index),
+        write_keys=tuple(writes),
+        read_keys=tuple(reads),
+    )
+
+
+class TestHistoryAndConflictGraph:
+    def test_record_and_query_history(self):
+        history = SiteHistory("N1")
+        history.record_commit(committed("T1", "Cx", 0))
+        history.record_commit(committed("T2", "Cy", 1))
+        history.record_commit(committed("T3", "Cx", 2))
+        assert history.transaction_ids() == ["T1", "T2", "T3"]
+        assert history.commit_order_of_class("Cx") == ["T1", "T3"]
+        assert history.classes() == ["Cx", "Cy"]
+        assert "T2" in history
+        assert history.get("T2").global_index == 1
+        assert len(history) == 3
+
+    def test_double_commit_rejected(self):
+        history = SiteHistory("N1")
+        history.record_commit(committed("T1", "Cx", 0))
+        with pytest.raises(VerificationError):
+            history.record_commit(committed("T1", "Cx", 1))
+
+    def test_same_class_transactions_conflict(self):
+        assert transactions_conflict(committed("T1", "Cx", 0), committed("T2", "Cx", 1))
+
+    def test_different_class_no_key_overlap_do_not_conflict(self):
+        assert not transactions_conflict(
+            committed("T1", "Cx", 0, writes=["a"]), committed("T2", "Cy", 1, writes=["b"])
+        )
+
+    def test_write_read_overlap_conflicts(self):
+        assert transactions_conflict(
+            committed("T1", "Cx", 0, writes=["k"]), committed("T2", "Cy", 1, reads=["k"])
+        )
+
+    def test_acyclic_graph_is_serializable(self):
+        commits = [committed("T1", "Cx", 0), committed("T2", "Cx", 1), committed("T3", "Cy", 2)]
+        assert history_is_serializable(commits)
+
+    def test_cycle_detection(self):
+        graph = ConflictGraph()
+        graph.add_edge("T1", "T2")
+        graph.add_edge("T2", "T3")
+        graph.add_edge("T3", "T1")
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert not graph.is_acyclic()
+
+    def test_topological_order_respects_edges(self):
+        graph = ConflictGraph()
+        graph.add_edge("T1", "T2")
+        graph.add_edge("T2", "T3")
+        graph.add_node("T0")
+        order = graph.topological_order()
+        assert order.index("T1") < order.index("T2") < order.index("T3")
+        assert "T0" in order
+
+    def test_topological_order_rejects_cycles(self):
+        graph = ConflictGraph()
+        graph.add_edge("T1", "T2")
+        graph.add_edge("T2", "T1")
+        with pytest.raises(VerificationError):
+            graph.topological_order()
+
+    def test_self_loops_ignored(self):
+        graph = ConflictGraph()
+        graph.add_edge("T1", "T1")
+        assert graph.is_acyclic()
+
+    def test_add_history_builds_edges_for_conflicting_pairs_only(self):
+        commits = [
+            committed("T1", "Cx", 0),
+            committed("T2", "Cy", 1),
+            committed("T3", "Cx", 2),
+        ]
+        graph = ConflictGraph()
+        graph.add_history(commits)
+        assert ("T1", "T3") in graph.edges()
+        assert ("T1", "T2") not in graph.edges()
+        assert graph.successors("T1") == {"T3"}
+
+    @given(
+        class_of=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=12)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_single_site_sequential_history_is_serializable(self, class_of):
+        """Property: a totally ordered (sequential) history is always serializable."""
+        commits = [
+            committed(f"T{index}", f"C{class_index}", index)
+            for index, class_index in enumerate(class_of)
+        ]
+        assert history_is_serializable(commits)

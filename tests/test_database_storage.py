@@ -1,0 +1,211 @@
+"""Tests for versioned objects, the multi-version store and snapshots."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database import MultiVersionStore, ObjectVersion, SnapshotManager, VersionChain
+from repro.errors import DatabaseError, SnapshotError, UnknownObjectError
+
+
+class TestVersionChain:
+    def test_latest_returns_most_recent(self):
+        chain = VersionChain(key="x")
+        chain.append(ObjectVersion("x", 1, created_index=0, created_by="T1"))
+        chain.append(ObjectVersion("x", 2, created_index=1, created_by="T2"))
+        assert chain.latest().value == 2
+
+    def test_visible_at_picks_greatest_index_not_exceeding_bound(self):
+        chain = VersionChain(key="x")
+        for index in range(5):
+            chain.append(ObjectVersion("x", index * 10, created_index=index, created_by=f"T{index}"))
+        assert chain.visible_at(2.5).value == 20
+        assert chain.visible_at(0).value == 0
+        assert chain.visible_at(100).value == 40
+
+    def test_visible_at_before_first_version_is_none(self):
+        chain = VersionChain(key="x")
+        chain.append(ObjectVersion("x", 1, created_index=5, created_by="T5"))
+        assert chain.visible_at(4.5) is None
+
+    def test_mismatched_key_rejected(self):
+        chain = VersionChain(key="x")
+        with pytest.raises(DatabaseError):
+            chain.append(ObjectVersion("y", 1, created_index=0, created_by="T1"))
+
+    def test_decreasing_index_rejected(self):
+        chain = VersionChain(key="x")
+        chain.append(ObjectVersion("x", 1, created_index=5, created_by="T5"))
+        with pytest.raises(DatabaseError):
+            chain.append(ObjectVersion("x", 2, created_index=4, created_by="T4"))
+
+    def test_remove_version(self):
+        chain = VersionChain(key="x")
+        chain.append(ObjectVersion("x", 1, created_index=0, created_by="T1"))
+        chain.append(ObjectVersion("x", 2, created_index=1, created_by="T2"))
+        assert chain.remove_version(1, "T2")
+        assert chain.latest().value == 1
+        assert not chain.remove_version(1, "T2")
+
+    def test_prune_keeps_at_least_one_version(self):
+        chain = VersionChain(key="x")
+        for index in range(5):
+            chain.append(ObjectVersion("x", index, created_index=index, created_by=f"T{index}"))
+        removed = chain.prune_before(100, keep_at_least=1)
+        assert removed == 4
+        assert len(chain) == 1
+        assert chain.latest().value == 4
+
+    def test_prune_invalid_keep_rejected(self):
+        with pytest.raises(DatabaseError):
+            VersionChain(key="x").prune_before(1, keep_at_least=0)
+
+
+class TestMultiVersionStore:
+    def build_store(self):
+        store = MultiVersionStore()
+        store.load_many({"a": 1, "b": 2})
+        return store
+
+    def test_load_and_read_latest(self):
+        store = self.build_store()
+        assert store.read_latest("a") == 1
+        assert store.exists("b")
+        assert not store.exists("missing")
+
+    def test_read_missing_raises(self):
+        store = self.build_store()
+        with pytest.raises(UnknownObjectError):
+            store.read_latest("missing")
+
+    def test_install_and_versioned_read(self):
+        store = self.build_store()
+        store.install("a", 10, created_index=0, created_by="T0")
+        store.install("a", 20, created_index=3, created_by="T3")
+        assert store.read_latest("a") == 20
+        assert store.read_version("a", 0.5) == 10
+        assert store.read_version("a", 2.9) == 10
+        assert store.read_version("a", 3.5) == 20
+        assert store.read_version("a", -1) == 1  # the initial load
+
+    def test_read_version_before_anything_visible_raises(self):
+        store = MultiVersionStore()
+        store.install("fresh", 1, created_index=5, created_by="T5")
+        with pytest.raises(UnknownObjectError):
+            store.read_version("fresh", 2.0)
+
+    def test_values_are_copied_on_read(self):
+        store = MultiVersionStore()
+        store.load("doc", {"items": [1, 2]})
+        value = store.read_latest("doc")
+        value["items"].append(3)
+        assert store.read_latest("doc") == {"items": [1, 2]}
+
+    def test_remove_version_supports_undo(self):
+        store = self.build_store()
+        store.install("a", 99, created_index=7, created_by="T7")
+        assert store.remove_version("a", created_index=7, created_by="T7")
+        assert store.read_latest("a") == 1
+        assert not store.remove_version("missing", created_index=0, created_by="T")
+
+    def test_dump_latest(self):
+        store = self.build_store()
+        store.install("a", 5, created_index=0, created_by="T0")
+        assert store.dump_latest() == {"a": 5, "b": 2}
+        assert store.dump_latest(keys=["b"]) == {"b": 2}
+
+    def test_prune_removes_old_versions(self):
+        store = MultiVersionStore()
+        store.load("k", 0)
+        for index in range(10):
+            store.install("k", index, created_index=index, created_by=f"T{index}")
+        removed = store.prune(8)
+        assert removed > 0
+        assert store.read_latest("k") == 9
+
+    def test_stats_track_reads_and_writes(self):
+        store = self.build_store()
+        store.read_latest("a")
+        store.read_version("a", 10)
+        store.install("a", 2, created_index=0, created_by="T0")
+        assert store.stats.reads == 1
+        assert store.stats.snapshot_reads == 1
+        assert store.stats.writes == 1
+
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=30), st.integers()),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_versioned_reads_return_last_write_at_or_before_index(self, writes):
+        """Property: a snapshot read at index i sees the last write with index <= i."""
+        store = MultiVersionStore()
+        store.load("k", -999)
+        ordered = sorted(writes, key=lambda item: item[0])
+        installed = []
+        last_index = None
+        for index, value in ordered:
+            if last_index is not None and index == last_index:
+                continue  # keep strictly increasing indices for a clean oracle
+            store.install("k", value, created_index=index, created_by=f"T{index}")
+            installed.append((index, value))
+            last_index = index
+        for probe in range(-1, 32):
+            visible = [value for index, value in installed if index <= probe]
+            expected = visible[-1] if visible else -999
+            assert store.read_version("k", probe + 0.5) == expected
+
+
+class TestSnapshotManager:
+    def test_query_index_is_last_processed_plus_half(self):
+        store = MultiVersionStore()
+        manager = SnapshotManager(store)
+        assert manager.next_query_index() == pytest.approx(-0.5)
+        manager.advance(4)
+        assert manager.next_query_index() == pytest.approx(4.5)
+
+    def test_advance_is_monotonic(self):
+        manager = SnapshotManager(MultiVersionStore())
+        manager.advance(5)
+        manager.advance(3)
+        assert manager.last_processed_index == 5
+
+    def test_snapshot_reads_are_stable_despite_later_commits(self):
+        store = MultiVersionStore()
+        store.load("x", 0)
+        manager = SnapshotManager(store)
+        store.install("x", 1, created_index=0, created_by="T0")
+        manager.advance(0)
+        snapshot = manager.snapshot()
+        store.install("x", 2, created_index=1, created_by="T1")
+        manager.advance(1)
+        assert snapshot.read("x") == 1
+        assert manager.snapshot().read("x") == 2
+
+    def test_future_snapshot_rejected(self):
+        manager = SnapshotManager(MultiVersionStore())
+        with pytest.raises(SnapshotError):
+            manager.snapshot(query_index=10.5)
+
+    def test_read_many(self):
+        store = MultiVersionStore()
+        store.load_many({"x": 1, "y": 2})
+        manager = SnapshotManager(store)
+        snapshot = manager.snapshot()
+        assert snapshot.read_many(["x", "y"]) == {"x": 1, "y": 2}
+
+    def test_garbage_collect_respects_horizon(self):
+        store = MultiVersionStore()
+        store.load("x", 0)
+        manager = SnapshotManager(store)
+        for index in range(20):
+            store.install("x", index, created_index=index, created_by=f"T{index}")
+            manager.advance(index)
+        removed = manager.garbage_collect(keep_last=2)
+        assert removed > 0
+        assert store.read_latest("x") == 19
+        # Recent snapshots still work.
+        assert manager.snapshot(query_index=18.5).read("x") == 18

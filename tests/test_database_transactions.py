@@ -1,0 +1,379 @@
+"""Tests for transactions, stored procedures and conflict-class queues."""
+
+import pytest
+
+from repro.database import (
+    ClassQueue,
+    ConflictClassMap,
+    DeliveryState,
+    ExecutionState,
+    ProcedureRegistry,
+    StoredProcedure,
+    Transaction,
+    TransactionContext,
+    TransactionOutcome,
+    TransactionRequest,
+    next_transaction_id,
+)
+from repro.database.storage import MultiVersionStore
+from repro.errors import (
+    ConflictClassError,
+    DatabaseError,
+    TransactionError,
+    UnknownProcedureError,
+)
+from repro.simulation.randomness import RandomSource
+
+
+def make_transaction(txn_id="T1", conflict_class="Cx", site="N1"):
+    request = TransactionRequest(
+        transaction_id=txn_id,
+        procedure_name="proc",
+        parameters={},
+        conflict_class=conflict_class,
+        origin_site=site,
+        submitted_at=0.0,
+    )
+    return Transaction(request=request, site_id=site)
+
+
+class TestTransactionStates:
+    def test_initial_state_matches_paper_labels(self):
+        transaction = make_transaction()
+        assert transaction.execution_state is ExecutionState.ACTIVE
+        assert transaction.delivery_state is DeliveryState.PENDING
+        assert transaction.state_label() == "T1[a,p]"
+
+    def test_opt_delivery_then_to_delivery(self):
+        transaction = make_transaction()
+        transaction.mark_opt_delivered(1.0)
+        assert transaction.is_pending
+        transaction.mark_committable(2.0)
+        assert transaction.is_committable
+        assert transaction.state_label() == "T1[a,c]"
+
+    def test_double_opt_delivery_rejected(self):
+        transaction = make_transaction()
+        transaction.mark_opt_delivered(1.0)
+        with pytest.raises(TransactionError):
+            transaction.mark_opt_delivered(2.0)
+
+    def test_execution_lifecycle(self):
+        transaction = make_transaction()
+        transaction.mark_opt_delivered(1.0)
+        transaction.begin_execution(1.5)
+        assert transaction.executing
+        assert transaction.execution_attempts == 1
+        transaction.complete_execution(2.0, result=42)
+        assert transaction.is_executed
+        assert transaction.result == 42
+        assert transaction.state_label() == "T1[e,p]"
+
+    def test_cannot_complete_without_starting(self):
+        transaction = make_transaction()
+        with pytest.raises(TransactionError):
+            transaction.complete_execution(1.0, result=None)
+
+    def test_cannot_start_twice_concurrently(self):
+        transaction = make_transaction()
+        transaction.begin_execution(1.0)
+        with pytest.raises(TransactionError):
+            transaction.begin_execution(1.1)
+
+    def test_commit_requires_executed_and_committable(self):
+        transaction = make_transaction()
+        transaction.mark_opt_delivered(0.5)
+        transaction.begin_execution(1.0)
+        transaction.complete_execution(2.0, result=None)
+        with pytest.raises(TransactionError):
+            transaction.mark_committed(3.0)  # not TO-delivered yet
+        transaction.mark_committable(2.5)
+        transaction.mark_committed(3.0)
+        assert transaction.is_committed
+        assert transaction.committed_at == 3.0
+        assert transaction.commit_latency == 3.0
+
+    def test_commit_twice_rejected(self):
+        transaction = make_transaction()
+        transaction.mark_opt_delivered(0.5)
+        transaction.begin_execution(1.0)
+        transaction.complete_execution(2.0, None)
+        transaction.mark_committable(2.5)
+        transaction.mark_committed(3.0)
+        with pytest.raises(TransactionError):
+            transaction.mark_committed(4.0)
+
+    def test_abort_for_reordering_resets_execution(self):
+        transaction = make_transaction()
+        transaction.mark_opt_delivered(0.5)
+        transaction.begin_execution(1.0)
+        transaction.complete_execution(2.0, result=7)
+        transaction.workspace = {"x": 1}
+        transaction.abort_for_reordering()
+        assert transaction.execution_state is ExecutionState.ACTIVE
+        assert transaction.workspace == {}
+        assert transaction.result is None
+        assert transaction.reorder_aborts == 1
+        assert transaction.outcome is TransactionOutcome.UNDECIDED
+        # It can be executed again afterwards.
+        transaction.begin_execution(3.0)
+        assert transaction.execution_attempts == 2
+
+    def test_aborting_committed_transaction_rejected(self):
+        transaction = make_transaction()
+        transaction.mark_opt_delivered(0.5)
+        transaction.begin_execution(1.0)
+        transaction.complete_execution(2.0, None)
+        transaction.mark_committable(2.5)
+        transaction.mark_committed(3.0)
+        with pytest.raises(TransactionError):
+            transaction.abort_for_reordering()
+
+    def test_transaction_ids_are_unique(self):
+        ids = {next_transaction_id("N1") for _ in range(200)}
+        assert len(ids) == 200
+
+
+class TestTransactionContext:
+    def build_store(self):
+        store = MultiVersionStore()
+        store.load_many({"acct:1": 100, "acct:2": 50})
+        return store
+
+    def test_read_your_own_writes(self):
+        context = TransactionContext(self.build_store())
+        context.write("acct:1", 120)
+        assert context.read("acct:1") == 120
+
+    def test_reads_record_read_set(self):
+        context = TransactionContext(self.build_store())
+        context.read("acct:1")
+        context.read_or_default("missing", default=0)
+        assert context.read_set == {"acct:1", "missing"}
+
+    def test_read_or_default(self):
+        context = TransactionContext(self.build_store())
+        assert context.read_or_default("missing", default=7) == 7
+
+    def test_increment(self):
+        context = TransactionContext(self.build_store())
+        assert context.increment("acct:2", 5) == 55
+        assert context.workspace == {"acct:2": 55}
+
+    def test_increment_non_numeric_rejected(self):
+        store = self.build_store()
+        store.load("name", "alice")
+        context = TransactionContext(store)
+        with pytest.raises(DatabaseError):
+            context.increment("name")
+
+    def test_read_only_context_blocks_writes(self):
+        context = TransactionContext(self.build_store(), read_only=True)
+        with pytest.raises(DatabaseError):
+            context.write("acct:1", 0)
+
+    def test_snapshot_context_reads_bounded_versions(self):
+        store = self.build_store()
+        store.install("acct:1", 999, created_index=5, created_by="T5")
+        context = TransactionContext(store, snapshot_index=2.5)
+        assert context.read("acct:1") == 100
+
+    def test_exists(self):
+        context = TransactionContext(self.build_store())
+        assert context.exists("acct:1")
+        assert not context.exists("nope")
+        context.write("nope", 1)
+        assert context.exists("nope")
+
+
+class TestStoredProcedures:
+    def test_registry_register_and_get(self):
+        registry = ProcedureRegistry()
+        procedure = StoredProcedure(name="p", body=lambda ctx, params: None, conflict_class="C")
+        registry.register(procedure)
+        assert registry.get("p") is procedure
+        assert "p" in registry
+        assert registry.names() == ["p"]
+        assert len(registry) == 1
+
+    def test_duplicate_names_rejected(self):
+        registry = ProcedureRegistry()
+        registry.register(StoredProcedure(name="p", body=lambda c, p: None, conflict_class="C"))
+        with pytest.raises(DatabaseError):
+            registry.register(
+                StoredProcedure(name="p", body=lambda c, p: None, conflict_class="C")
+            )
+
+    def test_unknown_procedure_raises(self):
+        with pytest.raises(UnknownProcedureError):
+            ProcedureRegistry().get("nope")
+
+    def test_decorator_registration(self):
+        registry = ProcedureRegistry()
+
+        @registry.procedure("transfer", conflict_class="C_accounts", duration=0.005)
+        def transfer(ctx, params):
+            return "done"
+
+        procedure = registry.get("transfer")
+        assert procedure.conflict_class == "C_accounts"
+        assert procedure.body(None, {}) == "done"
+
+    def test_conflict_class_callable_resolution(self):
+        procedure = StoredProcedure(
+            name="p",
+            body=lambda c, p: None,
+            conflict_class=lambda params: f"C{params['k']}",
+        )
+        assert procedure.resolve_conflict_class({"k": 3}) == "C3"
+
+    def test_update_without_class_rejected(self):
+        procedure = StoredProcedure(name="p", body=lambda c, p: None, conflict_class=None)
+        with pytest.raises(DatabaseError):
+            procedure.resolve_conflict_class({})
+
+    def test_query_without_class_gets_query_class(self):
+        procedure = StoredProcedure(
+            name="q", body=lambda c, p: None, conflict_class=None, is_query=True
+        )
+        assert procedure.resolve_conflict_class({}) == "__query__"
+
+    def test_duration_constant_and_callable(self):
+        stream = RandomSource(1).stream("d")
+        constant = StoredProcedure(name="p", body=lambda c, p: None, conflict_class="C", duration=0.01)
+        assert constant.sample_duration({}, stream) == pytest.approx(0.01)
+        sampled = StoredProcedure(
+            name="p2",
+            body=lambda c, p: None,
+            conflict_class="C",
+            duration=lambda params, rng: rng.uniform(0.001, 0.002),
+        )
+        assert 0.001 <= sampled.sample_duration({}, stream) <= 0.002
+
+    def test_negative_duration_clamped_to_zero(self):
+        stream = RandomSource(1).stream("d2")
+        procedure = StoredProcedure(
+            name="p", body=lambda c, p: None, conflict_class="C", duration=-1.0
+        )
+        assert procedure.sample_duration({}, stream) == 0.0
+
+
+class TestConflictClassMap:
+    def test_define_and_lookup(self):
+        mapping = ConflictClassMap()
+        mapping.define("C_accounts", key_prefixes=("acct:",))
+        mapping.define("C_orders", key_prefixes=("order:",))
+        assert mapping.class_of_key("acct:7") == "C_accounts"
+        assert mapping.class_of_key("order:1") == "C_orders"
+        assert mapping.class_of_key("other") is None
+        assert mapping.class_ids() == ["C_accounts", "C_orders"]
+        assert "C_accounts" in mapping
+        assert len(mapping) == 2
+
+    def test_duplicate_definition_rejected(self):
+        mapping = ConflictClassMap()
+        mapping.define("C")
+        with pytest.raises(ConflictClassError):
+            mapping.define("C")
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConflictClassError):
+            ConflictClassMap().get("missing")
+
+
+class TestClassQueue:
+    def test_append_and_fifo_order(self):
+        queue = ClassQueue("Cx")
+        first, second = make_transaction("T1"), make_transaction("T2")
+        queue.append(first)
+        queue.append(second)
+        assert queue.first() is first
+        assert len(queue) == 2
+        assert queue.position_of(second) == 1
+        assert [entry.transaction_id for entry in queue] == ["T1", "T2"]
+
+    def test_wrong_class_rejected(self):
+        queue = ClassQueue("Cx")
+        other = make_transaction("T1", conflict_class="Cy")
+        with pytest.raises(ConflictClassError):
+            queue.append(other)
+
+    def test_double_append_rejected(self):
+        queue = ClassQueue("Cx")
+        transaction = make_transaction("T1")
+        queue.append(transaction)
+        with pytest.raises(ConflictClassError):
+            queue.append(transaction)
+
+    def test_remove_only_head(self):
+        queue = ClassQueue("Cx")
+        first, second = make_transaction("T1"), make_transaction("T2")
+        queue.append(first)
+        queue.append(second)
+        with pytest.raises(ConflictClassError):
+            queue.remove(second)
+        queue.remove(first)
+        assert queue.first() is second
+
+    def test_find_by_id(self):
+        queue = ClassQueue("Cx")
+        transaction = make_transaction("T1")
+        queue.append(transaction)
+        assert queue.find("T1") is transaction
+        assert queue.find("T9") is None
+
+    def test_reschedule_moves_committable_before_pending(self):
+        """The paper's first CC10 example: T3 confirmed before T2."""
+        queue = ClassQueue("Cx")
+        t1, t2, t3 = (make_transaction(f"T{i}") for i in (1, 2, 3))
+        for transaction in (t1, t2, t3):
+            transaction.mark_opt_delivered(0.0)
+            queue.append(transaction)
+        t1.mark_committable(1.0)
+        t3.mark_committable(2.0)
+        queue.reschedule_before_pending(t3)
+        assert [entry.transaction_id for entry in queue] == ["T1", "T3", "T2"]
+        assert queue.committable_before_pending()
+
+    def test_reschedule_to_front_when_all_pending(self):
+        """The paper's second example: T3 confirmed while T1, T2 still pending."""
+        queue = ClassQueue("Cx")
+        t1, t2, t3 = (make_transaction(f"T{i}") for i in (1, 2, 3))
+        for transaction in (t1, t2, t3):
+            transaction.mark_opt_delivered(0.0)
+            queue.append(transaction)
+        t3.mark_committable(1.0)
+        position = queue.reschedule_before_pending(t3)
+        assert position == 0
+        assert [entry.transaction_id for entry in queue] == ["T3", "T1", "T2"]
+
+    def test_reschedule_unknown_transaction_rejected(self):
+        queue = ClassQueue("Cx")
+        with pytest.raises(ConflictClassError):
+            queue.reschedule_before_pending(make_transaction("T9"))
+
+    def test_committable_prefix_length(self):
+        queue = ClassQueue("Cx")
+        t1, t2 = make_transaction("T1"), make_transaction("T2")
+        for transaction in (t1, t2):
+            transaction.mark_opt_delivered(0.0)
+            queue.append(transaction)
+        assert queue.committable_prefix_length() == 0
+        t1.mark_committable(1.0)
+        assert queue.committable_prefix_length() == 1
+
+    def test_snapshot_labels(self):
+        queue = ClassQueue("Cx")
+        transaction = make_transaction("T1")
+        transaction.mark_opt_delivered(0.0)
+        queue.append(transaction)
+        assert queue.snapshot_labels() == ["T1[a,p]"]
+
+    def test_counters(self):
+        queue = ClassQueue("Cx")
+        t1 = make_transaction("T1")
+        t1.mark_opt_delivered(0.0)
+        queue.append(t1)
+        queue.remove(t1)
+        assert queue.total_appended == 1
+        assert queue.total_committed == 1

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script must run end to end.
+
+The examples double as documentation; they are executed here (with their
+output captured) so that API drift breaks the build instead of the docs.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLE_SCRIPTS = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    assert len(EXAMPLE_SCRIPTS) >= 3
+    assert "quickstart.py" in EXAMPLE_SCRIPTS
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs_without_errors(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_consistent_replicas(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "Replica divergence            : none" in output
+    assert "account:alice" in output
+
+
+def test_banking_example_reports_serializable_histories(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "banking_replication.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.count("1-copy-serializable        : True") == 2
+    assert "money conserved everywhere : True" in output
+
+
+def test_ecommerce_example_preserves_stock_invariant(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "read_mostly_ecommerce.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "stock + sold == initial stock : True" in output
+    assert "replicas identical            : True" in output

@@ -1,0 +1,145 @@
+"""Unit tests for crash injection and the heartbeat failure detector."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.failure import CrashManager, CrashSchedule, FailureDetector
+from repro.network import ConstantLatency, NetworkTransport
+from repro.network.dispatcher import SiteDispatcher
+from repro.simulation import SimulationKernel
+
+
+def build_cluster(site_count=3, seed=0):
+    kernel = SimulationKernel(seed=seed)
+    transport = NetworkTransport(kernel, ConstantLatency(0.001))
+    dispatchers = {}
+    for index in range(site_count):
+        site = f"N{index + 1}"
+        dispatchers[site] = SiteDispatcher(transport, site)
+    return kernel, transport, dispatchers
+
+
+class TestCrashSchedule:
+    def test_crash_for_creates_pair(self):
+        schedule = CrashSchedule().crash_for("N1", at=1.0, duration=2.0)
+        events = schedule.sorted_events()
+        assert [(event.time, event.up) for event in events] == [(1.0, False), (3.0, True)]
+
+    def test_events_sorted_by_time(self):
+        schedule = CrashSchedule().recover("N1", at=5.0).crash("N1", at=1.0)
+        assert [event.time for event in schedule.sorted_events()] == [1.0, 5.0]
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(NetworkError):
+            CrashSchedule().crash_for("N1", at=1.0, duration=0.0)
+
+
+class TestCrashManager:
+    def test_crash_and_recovery_change_transport_state(self):
+        kernel, transport, _ = build_cluster()
+        manager = CrashManager(kernel, transport)
+        manager.apply_schedule(CrashSchedule().crash_for("N2", at=0.010, duration=0.020))
+        kernel.run(until=0.015)
+        assert not transport.is_site_up("N2")
+        assert not manager.is_up("N2")
+        kernel.run(until=0.050)
+        assert transport.is_site_up("N2")
+        assert manager.crash_count("N2") == 1
+
+    def test_listeners_notified_on_change(self):
+        kernel, transport, _ = build_cluster()
+        manager = CrashManager(kernel, transport)
+        changes = []
+        manager.add_listener(lambda site, up: changes.append((site, up)))
+        manager.crash_now("N1")
+        manager.recover_now("N1")
+        assert changes == [("N1", False), ("N1", True)]
+
+    def test_redundant_transitions_are_ignored(self):
+        kernel, transport, _ = build_cluster()
+        manager = CrashManager(kernel, transport)
+        changes = []
+        manager.add_listener(lambda site, up: changes.append((site, up)))
+        manager.recover_now("N1")  # already up
+        assert changes == []
+
+    def test_up_sites_lists_only_live_sites(self):
+        kernel, transport, _ = build_cluster()
+        manager = CrashManager(kernel, transport)
+        manager.crash_now("N3")
+        assert manager.up_sites() == ["N1", "N2"]
+
+
+class TestFailureDetector:
+    def build_detectors(self, site_count=3, **kwargs):
+        kernel, transport, dispatchers = build_cluster(site_count=site_count)
+        detectors = {}
+        for site, dispatcher in dispatchers.items():
+            detector = FailureDetector(kernel, transport, site, **kwargs)
+            dispatcher.register_kind(
+                "failure-detector.heartbeat", detector.on_envelope
+            )
+            detectors[site] = detector
+        return kernel, transport, detectors
+
+    def test_no_suspicions_without_crashes(self):
+        kernel, transport, detectors = self.build_detectors()
+        for detector in detectors.values():
+            detector.start()
+        kernel.run(until=0.5)
+        assert all(not detector.suspected_sites() for detector in detectors.values())
+
+    def test_crashed_site_becomes_suspected(self):
+        kernel, transport, detectors = self.build_detectors()
+        for detector in detectors.values():
+            detector.start()
+        manager = CrashManager(kernel, transport)
+        kernel.run(until=0.1)
+        manager.crash_now("N3")
+        detectors["N3"].stop()
+        kernel.run(until=0.5)
+        assert detectors["N1"].is_suspected("N3")
+        assert detectors["N2"].is_suspected("N3")
+        assert "N3" not in detectors["N1"].trusted_sites()
+
+    def test_recovered_site_is_trusted_again_and_timeout_grows(self):
+        kernel, transport, detectors = self.build_detectors()
+        for detector in detectors.values():
+            detector.start()
+        manager = CrashManager(kernel, transport)
+        kernel.run(until=0.1)
+        manager.crash_now("N3")
+        detectors["N3"].stop()
+        kernel.run(until=0.4)
+        assert detectors["N1"].is_suspected("N3")
+        manager.recover_now("N3")
+        detectors["N3"].reset()
+        detectors["N3"].start()
+        kernel.run(until=1.0)
+        assert not detectors["N1"].is_suspected("N3")
+
+    def test_suspicion_listener_fires_on_both_transitions(self):
+        kernel, transport, detectors = self.build_detectors()
+        for detector in detectors.values():
+            detector.start()
+        events = []
+        detectors["N1"].add_listener(lambda peer, suspected: events.append((peer, suspected)))
+        manager = CrashManager(kernel, transport)
+        kernel.run(until=0.1)
+        manager.crash_now("N2")
+        detectors["N2"].stop()
+        kernel.run(until=0.4)
+        manager.recover_now("N2")
+        detectors["N2"].start()
+        kernel.run(until=1.0)
+        assert ("N2", True) in events
+        assert ("N2", False) in events
+
+    def test_stopped_detector_does_not_send_heartbeats(self):
+        kernel, transport, detectors = self.build_detectors(site_count=2)
+        detectors["N1"].start()
+        detectors["N1"].stop()
+        detectors["N2"].start()
+        kernel.run(until=0.3)
+        # N2 never hears from N1 and eventually suspects it.
+        assert detectors["N2"].is_suspected("N1")

@@ -1,0 +1,97 @@
+"""Tests for the experiment harness, result containers and reporting."""
+
+import pytest
+
+from repro.harness import (
+    ExperimentResult,
+    ascii_plot,
+    figure1_spontaneous_order,
+    format_mapping,
+    format_table,
+    overlap_experiment,
+    run_experiments,
+    run_standard_workload,
+)
+from repro.core.config import BROADCAST_OPTIMISTIC, ClusterConfig
+from repro.workloads import WorkloadSpec
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        table = format_table(["a", "long_header"], [[1, 2.5], [300, "x"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "long_header" in lines[0]
+        assert "2.500" in lines[2]
+
+    def test_ascii_plot_contains_points(self):
+        plot = ascii_plot([(0.0, 0.0), (1.0, 1.0)], width=10, height=5)
+        assert plot.count("*") == 2
+
+    def test_ascii_plot_empty(self):
+        assert ascii_plot([]) == "(no data)"
+
+    def test_format_mapping(self):
+        text = format_mapping({"alpha": 1, "b": 2.5})
+        assert "alpha" in text and "2.500" in text
+
+
+class TestExperimentResult:
+    def test_add_row_sets_columns_and_column_access(self):
+        result = ExperimentResult(name="demo", description="d")
+        result.add_row(x=1, y=2.0)
+        result.add_row(x=3, y=4.0)
+        assert result.columns == ["x", "y"]
+        assert result.column("y") == [2.0, 4.0]
+
+    def test_format_table_and_markdown(self):
+        result = ExperimentResult(name="demo", description="desc", parameters={"seed": 1})
+        result.add_row(x=1, y=2.0)
+        result.notes.append("a note")
+        assert "x" in result.format_table()
+        markdown = result.to_markdown()
+        assert "### demo" in markdown
+        assert "| x | y |" in markdown
+        assert "- a note" in markdown
+
+
+class TestRunStandardWorkload:
+    def test_summary_fields_are_consistent(self):
+        summary = run_standard_workload(
+            ClusterConfig(site_count=3, seed=1, broadcast=BROADCAST_OPTIMISTIC),
+            WorkloadSpec(updates_per_site=10, class_count=4, queries_per_site=2),
+        )
+        assert summary.committed == 30
+        assert summary.one_copy_ok
+        assert summary.broadcast_ok
+        assert summary.mean_client_latency > 0.0
+        assert summary.throughput_tps > 0.0
+        assert summary.queries_completed == 6
+        assert 0.0 <= summary.mismatch_fraction <= 1.0
+
+
+class TestExperiments:
+    def test_figure1_percentages_are_valid_and_trend_upwards(self):
+        result = figure1_spontaneous_order(
+            intervals_ms=(0.1, 4.0), messages_per_site=60, seed=2
+        )
+        values = result.column("spontaneously_ordered_pct")
+        assert all(0.0 <= value <= 100.0 for value in values)
+        assert values[-1] >= values[0]
+        assert values[-1] > 90.0
+
+    def test_overlap_experiment_shows_latency_saving(self):
+        result = overlap_experiment(execution_times_ms=(2.0,), updates_per_site=10)
+        row = result.rows[0]
+        assert row["otp_latency_ms"] < row["conservative_latency_ms"]
+        assert row["one_copy_ok"]
+
+    def test_run_experiments_selects_by_name(self):
+        suite = run_experiments(["figure1"], fast=True)
+        assert set(suite.results) == {"figure1"}
+        assert "Figure 1" in suite.to_text()
+        assert "### Figure 1" in suite.to_markdown()
+
+    def test_run_experiments_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiments(["does-not-exist"])

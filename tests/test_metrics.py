@@ -1,0 +1,109 @@
+"""Tests for metric collection and summary statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    Counter,
+    LatencyRecorder,
+    MetricsCollector,
+    Summary,
+    confidence_interval_95,
+    mean,
+    percentile,
+    ratio,
+    stddev,
+    summarize,
+)
+
+
+class TestStats:
+    def test_mean_and_stddev(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert mean([]) == 0.0
+        assert stddev([2.0, 2.0, 2.0]) == 0.0
+        assert stddev([1.0]) == 0.0
+        assert stddev([0.0, 2.0]) == pytest.approx(1.0)
+
+    def test_percentile_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == pytest.approx(2.5)
+        assert percentile([5.0], 0.9) == 5.0
+        assert percentile([], 0.5) == 0.0
+
+    def test_percentile_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.p50 == pytest.approx(3.0)
+
+    def test_summarize_empty(self):
+        assert summarize([]) == Summary.empty()
+
+    def test_confidence_interval(self):
+        assert confidence_interval_95([1.0]) == 0.0
+        assert confidence_interval_95([1.0, 2.0, 3.0]) > 0.0
+
+    def test_ratio(self):
+        assert ratio(1.0, 2.0) == 0.5
+        assert ratio(1.0, 0.0) == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_summary_bounds_property(self, values):
+        summary = summarize(values)
+        # A small absolute tolerance absorbs floating-point accumulation error
+        # in the mean (e.g. three identical large values).
+        tolerance = 1e-6
+        assert summary.minimum <= summary.p50 <= summary.maximum
+        assert summary.minimum - tolerance <= summary.mean <= summary.maximum + tolerance
+        assert summary.p50 <= summary.p90 + 1e-9
+        assert summary.p90 <= summary.p99 + 1e-9
+        assert summary.count == len(values)
+
+
+class TestCollector:
+    def test_counter_increment(self):
+        counter = Counter("x")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_latency_recorder_summary(self):
+        recorder = LatencyRecorder("lat")
+        for value in (0.1, 0.2, 0.3):
+            recorder.record(value)
+        assert len(recorder) == 3
+        assert recorder.summary().mean == pytest.approx(0.2)
+
+    def test_collector_counters(self):
+        metrics = MetricsCollector("test")
+        metrics.increment("commits")
+        metrics.increment("commits", 2)
+        assert metrics.count("commits") == 3
+        assert metrics.count("unknown") == 0
+        assert metrics.counters() == {"commits": 3}
+
+    def test_collector_latencies(self):
+        metrics = MetricsCollector("test")
+        metrics.record_latency("commit", 0.5)
+        metrics.record_latency("commit", 1.5)
+        assert metrics.latency_summary("commit").mean == pytest.approx(1.0)
+        assert metrics.latency_summary("missing").count == 0
+
+    def test_snapshot_contains_both(self):
+        metrics = MetricsCollector("test")
+        metrics.increment("a")
+        metrics.record_latency("b", 0.1)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"] == {"a": 1}
+        assert "b" in snapshot["latencies"]

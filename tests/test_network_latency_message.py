@@ -1,0 +1,107 @@
+"""Unit tests for latency models and message envelopes."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.latency import (
+    ConstantLatency,
+    LanMulticastLatency,
+    NormalLatency,
+    UniformLatency,
+    WanLatency,
+)
+from repro.network.message import Envelope, next_envelope_id
+from repro.simulation.randomness import RandomSource
+
+
+@pytest.fixture
+def stream():
+    return RandomSource(1).stream("latency-test")
+
+
+class TestConstantLatency:
+    def test_sample_is_constant(self, stream):
+        model = ConstantLatency(0.002)
+        assert model.sample("N1", "N2", stream) == pytest.approx(0.002)
+
+    def test_negative_rejected(self):
+        with pytest.raises(NetworkError):
+            ConstantLatency(-0.001)
+
+
+class TestUniformLatency:
+    def test_sample_within_bounds(self, stream):
+        model = UniformLatency(0.001, 0.002)
+        for _ in range(100):
+            assert 0.001 <= model.sample("N1", "N2", stream) <= 0.002
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(NetworkError):
+            UniformLatency(0.002, 0.001)
+
+
+class TestNormalLatency:
+    def test_sample_respects_minimum(self, stream):
+        model = NormalLatency(mean=0.001, stddev=0.01, minimum=0.0005)
+        assert all(model.sample("N1", "N2", stream) >= 0.0005 for _ in range(200))
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(NetworkError):
+            NormalLatency(mean=-0.001)
+
+
+class TestLanMulticastLatency:
+    def test_shared_delay_at_least_propagation(self, stream):
+        model = LanMulticastLatency(propagation=0.0004)
+        assert all(model.shared_delay(stream) >= 0.0004 for _ in range(100))
+
+    def test_receiver_delay_nonnegative(self, stream):
+        model = LanMulticastLatency()
+        assert all(model.receiver_delay("N1", "N2", stream) >= 0.0 for _ in range(100))
+
+    def test_zero_receiver_jitter_means_identical_arrival(self, stream):
+        model = LanMulticastLatency(receiver_jitter_mean=0.0)
+        delays = {model.receiver_delay("N1", f"N{i}", stream) for i in range(2, 6)}
+        assert delays == {0.0}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(NetworkError):
+            LanMulticastLatency(propagation=-1.0)
+        with pytest.raises(NetworkError):
+            LanMulticastLatency(receiver_jitter_mean=-0.1)
+
+
+class TestWanLatency:
+    def test_sample_at_least_base(self, stream):
+        model = WanLatency(base=0.02, variance=0.01)
+        assert all(model.sample("N1", "N2", stream) >= 0.02 for _ in range(100))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(NetworkError):
+            WanLatency(base=-0.01)
+
+
+class TestEnvelope:
+    def test_next_envelope_id_unique(self):
+        ids = {next_envelope_id("N1") for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_with_destination_copies_fields(self):
+        envelope = Envelope(
+            envelope_id="e1",
+            sender="N1",
+            destination=None,
+            payload={"x": 1},
+            kind="data",
+            sent_at=1.5,
+        )
+        addressed = envelope.with_destination("N3")
+        assert addressed.destination == "N3"
+        assert addressed.envelope_id == "e1"
+        assert addressed.sender == "N1"
+        assert addressed.payload == {"x": 1}
+        assert addressed.sent_at == 1.5
+
+    def test_sort_key_is_deterministic(self):
+        envelope = Envelope("e1", "N1", "N2", None)
+        assert envelope.sort_key() == ("e1", "N1")

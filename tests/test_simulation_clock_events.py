@@ -1,0 +1,121 @@
+"""Unit tests for the virtual clock and the event queue."""
+
+import pytest
+
+from repro.errors import ClockError, SimulationError
+from repro.simulation.clock import (
+    VirtualClock,
+    microseconds,
+    milliseconds,
+    to_milliseconds,
+)
+from repro.simulation.events import EventQueue
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ClockError):
+            VirtualClock(-1.0)
+
+    def test_advances_forward(self):
+        clock = VirtualClock()
+        clock.advance_to(2.5)
+        assert clock.now() == 2.5
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = VirtualClock(1.0)
+        clock.advance_to(1.0)
+        assert clock.now() == 1.0
+
+    def test_cannot_move_backwards(self):
+        clock = VirtualClock(3.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(2.0)
+
+
+class TestUnitHelpers:
+    def test_milliseconds(self):
+        assert milliseconds(4.0) == pytest.approx(0.004)
+
+    def test_microseconds(self):
+        assert microseconds(250.0) == pytest.approx(0.00025)
+
+    def test_to_milliseconds_roundtrip(self):
+        assert to_milliseconds(milliseconds(7.5)) == pytest.approx(7.5)
+
+
+class TestEventQueue:
+    def test_pop_returns_events_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("late"))
+        queue.push(1.0, lambda: fired.append("early"))
+        first = queue.pop()
+        second = queue.pop()
+        assert first.time == 1.0
+        assert second.time == 2.0
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, label="a")
+        queue.push(1.0, lambda: None, label="b")
+        assert queue.pop().label == "a"
+        assert queue.pop().label == "b"
+
+    def test_priority_orders_before_sequence(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, priority=1, label="low")
+        queue.push(1.0, lambda: None, priority=0, label="high")
+        assert queue.pop().label == "high"
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        queue.cancel(event)
+        assert len(queue) == 1
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None, label="cancelled")
+        queue.push(2.0, lambda: None, label="kept")
+        queue.cancel(event)
+        assert queue.pop().label == "kept"
+
+    def test_double_cancel_does_not_corrupt_count(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 0
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        queue.cancel(event)
+        assert queue.peek_time() == 3.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_rejects_non_callable(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.push(1.0, "not callable")
+
+    def test_bool_reflects_liveness(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, lambda: None)
+        assert queue

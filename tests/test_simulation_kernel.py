@@ -1,0 +1,245 @@
+"""Unit tests for the simulation kernel and timers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import PeriodicTimer, SimulationKernel, Timeout
+
+
+class TestScheduling:
+    def test_schedule_runs_callback_at_right_time(self):
+        kernel = SimulationKernel()
+        times = []
+        kernel.schedule(0.5, lambda: times.append(kernel.now()))
+        kernel.run_until_idle()
+        assert times == [0.5]
+
+    def test_events_run_in_time_order(self):
+        kernel = SimulationKernel()
+        order = []
+        kernel.schedule(0.3, lambda: order.append("third"))
+        kernel.schedule(0.1, lambda: order.append("first"))
+        kernel.schedule(0.2, lambda: order.append("second"))
+        kernel.run_until_idle()
+        assert order == ["first", "second", "third"]
+
+    def test_equal_times_run_in_fifo_order(self):
+        kernel = SimulationKernel()
+        order = []
+        for index in range(5):
+            kernel.schedule(1.0, lambda index=index: order.append(index))
+        kernel.run_until_idle()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_schedule_at_absolute_time(self):
+        kernel = SimulationKernel()
+        seen = []
+        kernel.schedule_at(2.0, lambda: seen.append(kernel.now()))
+        kernel.run_until_idle()
+        assert seen == [2.0]
+
+    def test_negative_delay_rejected(self):
+        kernel = SimulationKernel()
+        with pytest.raises(SimulationError):
+            kernel.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        kernel = SimulationKernel()
+        kernel.schedule(1.0, lambda: None)
+        kernel.run_until_idle()
+        with pytest.raises(SimulationError):
+            kernel.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling_from_callbacks(self):
+        kernel = SimulationKernel()
+        seen = []
+
+        def outer():
+            seen.append(("outer", kernel.now()))
+            kernel.schedule(0.5, inner)
+
+        def inner():
+            seen.append(("inner", kernel.now()))
+
+        kernel.schedule(1.0, outer)
+        kernel.run_until_idle()
+        assert seen == [("outer", 1.0), ("inner", 1.5)]
+
+    def test_cancel_prevents_execution(self):
+        kernel = SimulationKernel()
+        seen = []
+        event = kernel.schedule(1.0, lambda: seen.append("fired"))
+        kernel.cancel(event)
+        kernel.run_until_idle()
+        assert seen == []
+
+
+class TestRunControl:
+    def test_run_until_time_stops_and_advances_clock(self):
+        kernel = SimulationKernel()
+        seen = []
+        kernel.schedule(1.0, lambda: seen.append(1.0))
+        kernel.schedule(5.0, lambda: seen.append(5.0))
+        kernel.run(until=2.0)
+        assert seen == [1.0]
+        assert kernel.now() == 2.0
+        kernel.run_until_idle()
+        assert seen == [1.0, 5.0]
+
+    def test_max_events_limit(self):
+        kernel = SimulationKernel()
+        seen = []
+        for index in range(10):
+            kernel.schedule(index * 0.1 + 0.1, lambda index=index: seen.append(index))
+        kernel.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_stop_from_callback(self):
+        kernel = SimulationKernel()
+        seen = []
+
+        def first():
+            seen.append("first")
+            kernel.stop()
+
+        kernel.schedule(0.1, first)
+        kernel.schedule(0.2, lambda: seen.append("second"))
+        kernel.run_until_idle()
+        assert seen == ["first"]
+
+    def test_run_is_not_reentrant(self):
+        kernel = SimulationKernel()
+        errors = []
+
+        def callback():
+            try:
+                kernel.run()
+            except SimulationError as error:
+                errors.append(error)
+
+        kernel.schedule(0.1, callback)
+        kernel.run_until_idle()
+        assert len(errors) == 1
+
+    def test_events_executed_counter(self):
+        kernel = SimulationKernel()
+        for _ in range(4):
+            kernel.schedule(0.1, lambda: None)
+        kernel.run_until_idle()
+        assert kernel.events_executed == 4
+        assert kernel.pending_events == 0
+
+    def test_trace_hook_sees_events(self):
+        kernel = SimulationKernel()
+        labels = []
+        kernel.add_trace_hook(lambda event: labels.append(event.label))
+        kernel.schedule(0.1, lambda: None, label="hello")
+        kernel.run_until_idle()
+        assert labels == ["hello"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_random_streams(self):
+        first = SimulationKernel(seed=42)
+        second = SimulationKernel(seed=42)
+        stream_a = first.random.stream("jitter")
+        stream_b = second.random.stream("jitter")
+        assert [stream_a.random() for _ in range(20)] == [
+            stream_b.random() for _ in range(20)
+        ]
+
+    def test_different_streams_are_independent(self):
+        kernel = SimulationKernel(seed=42)
+        one = kernel.random.stream("one")
+        # Drawing from an unrelated stream must not perturb "one".
+        other = kernel.random.stream("other")
+        first_draws = [one.random() for _ in range(5)]
+        fresh = SimulationKernel(seed=42).random.stream("one")
+        for _ in range(100):
+            other.random()
+        assert first_draws == [fresh.random() for _ in range(5)]
+
+
+class TestPeriodicTimer:
+    def test_fires_repeatedly_until_stopped(self):
+        kernel = SimulationKernel()
+        ticks = []
+        timer = PeriodicTimer(kernel, 0.1, lambda: ticks.append(kernel.now()))
+        timer.start()
+        kernel.run(until=0.55)
+        timer.stop()
+        kernel.run_until_idle()
+        assert ticks == pytest.approx([0.1, 0.2, 0.3, 0.4, 0.5])
+
+    def test_start_immediately_fires_at_zero_delay(self):
+        kernel = SimulationKernel()
+        ticks = []
+        timer = PeriodicTimer(
+            kernel, 0.1, lambda: ticks.append(kernel.now()), start_immediately=True
+        )
+        timer.start()
+        kernel.run(until=0.25)
+        assert ticks[0] == pytest.approx(0.0)
+
+    def test_reschedule_changes_interval(self):
+        kernel = SimulationKernel()
+        ticks = []
+        timer = PeriodicTimer(kernel, 0.1, lambda: ticks.append(kernel.now()))
+        timer.start()
+        kernel.run(until=0.15)
+        timer.reschedule(0.5)
+        kernel.run(until=1.0)
+        timer.stop()
+        assert ticks == pytest.approx([0.1, 0.65])
+
+    def test_rejects_non_positive_interval(self):
+        kernel = SimulationKernel()
+        with pytest.raises(SimulationError):
+            PeriodicTimer(kernel, 0.0, lambda: None)
+
+    def test_double_start_is_idempotent(self):
+        kernel = SimulationKernel()
+        ticks = []
+        timer = PeriodicTimer(kernel, 0.1, lambda: ticks.append(1))
+        timer.start()
+        timer.start()
+        kernel.run(until=0.15)
+        assert len(ticks) == 1
+
+
+class TestTimeout:
+    def test_fires_once_after_duration(self):
+        kernel = SimulationKernel()
+        fired = []
+        timeout = Timeout(kernel, 0.3, lambda: fired.append(kernel.now()))
+        timeout.start()
+        kernel.run_until_idle()
+        assert fired == [0.3]
+
+    def test_restart_postpones_firing(self):
+        kernel = SimulationKernel()
+        fired = []
+        timeout = Timeout(kernel, 0.3, lambda: fired.append(kernel.now()))
+        timeout.start()
+        kernel.run(until=0.2)
+        timeout.restart()
+        kernel.run_until_idle()
+        assert fired == [0.5]
+
+    def test_cancel_prevents_firing(self):
+        kernel = SimulationKernel()
+        fired = []
+        timeout = Timeout(kernel, 0.3, lambda: fired.append(1))
+        timeout.start()
+        timeout.cancel()
+        kernel.run_until_idle()
+        assert fired == []
+        assert not timeout.armed
+
+    def test_restart_with_new_duration(self):
+        kernel = SimulationKernel()
+        fired = []
+        timeout = Timeout(kernel, 0.3, lambda: fired.append(kernel.now()))
+        timeout.restart(0.1)
+        kernel.run_until_idle()
+        assert fired == [0.1]

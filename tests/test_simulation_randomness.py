@@ -1,0 +1,125 @@
+"""Unit and property-based tests for the seeded random streams."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.randomness import RandomSource, RandomStream
+
+
+class TestReproducibility:
+    def test_same_seed_and_name_give_identical_sequences(self):
+        one = RandomSource(7).stream("network")
+        two = RandomSource(7).stream("network")
+        assert [one.random() for _ in range(50)] == [two.random() for _ in range(50)]
+
+    def test_different_names_give_different_sequences(self):
+        source = RandomSource(7)
+        first = [source.stream("a").random() for _ in range(10)]
+        second = [source.stream("b").random() for _ in range(10)]
+        assert first != second
+
+    def test_different_seeds_give_different_sequences(self):
+        one = RandomSource(1).stream("x")
+        two = RandomSource(2).stream("x")
+        assert [one.random() for _ in range(10)] != [two.random() for _ in range(10)]
+
+    def test_stream_is_cached(self):
+        source = RandomSource(3)
+        assert source.stream("same") is source.stream("same")
+
+    def test_streams_returns_all_names(self):
+        source = RandomSource(3)
+        streams = source.streams(["a", "b"])
+        assert set(streams) == {"a", "b"}
+        assert all(isinstance(stream, RandomStream) for stream in streams.values())
+
+    def test_fork_is_deterministic(self):
+        base = RandomSource(9)
+        fork_one = base.fork("rep-1").stream("s")
+        fork_two = RandomSource(9).fork("rep-1").stream("s")
+        assert [fork_one.random() for _ in range(5)] == [fork_two.random() for _ in range(5)]
+
+
+class TestDistributions:
+    def test_uniform_within_bounds(self):
+        stream = RandomSource(1).stream("u")
+        for _ in range(200):
+            value = stream.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_exponential_nonnegative_and_mean_reasonable(self):
+        stream = RandomSource(1).stream("e")
+        samples = [stream.exponential(0.01) for _ in range(3000)]
+        assert all(sample >= 0.0 for sample in samples)
+        assert sum(samples) / len(samples) == pytest.approx(0.01, rel=0.15)
+
+    def test_exponential_zero_mean_returns_zero(self):
+        stream = RandomSource(1).stream("e0")
+        assert stream.exponential(0.0) == 0.0
+
+    def test_truncated_normal_respects_minimum(self):
+        stream = RandomSource(1).stream("n")
+        assert all(
+            stream.truncated_normal(0.0, 1.0, minimum=0.5) >= 0.5 for _ in range(200)
+        )
+
+    def test_chance_extremes(self):
+        stream = RandomSource(1).stream("c")
+        assert not any(stream.chance(0.0) for _ in range(50))
+        assert all(stream.chance(1.0) for _ in range(50))
+
+    def test_randint_bounds(self):
+        stream = RandomSource(1).stream("i")
+        values = {stream.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_choice_and_weighted_choice(self):
+        stream = RandomSource(1).stream("w")
+        assert stream.choice(["only"]) == "only"
+        picks = {stream.weighted_choice(["a", "b"], [0.0, 1.0]) for _ in range(50)}
+        assert picks == {"b"}
+
+    def test_sample_returns_distinct_items(self):
+        stream = RandomSource(1).stream("s")
+        sample = stream.sample(range(10), 4)
+        assert len(sample) == len(set(sample)) == 4
+
+    def test_pareto_scale(self):
+        stream = RandomSource(1).stream("p")
+        assert all(stream.pareto(2.0, 1.5) >= 1.5 for _ in range(100))
+
+    def test_shuffle_preserves_elements(self):
+        stream = RandomSource(1).stream("sh")
+        items = list(range(20))
+        shuffled = list(items)
+        stream.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+
+class TestZipf:
+    def test_zero_skew_is_roughly_uniform(self):
+        stream = RandomSource(5).stream("z")
+        counts = [0] * 4
+        for _ in range(4000):
+            counts[stream.zipf_index(4, 0.0)] += 1
+        assert min(counts) > 800
+
+    def test_high_skew_prefers_low_indices(self):
+        stream = RandomSource(5).stream("z2")
+        counts = [0] * 8
+        for _ in range(4000):
+            counts[stream.zipf_index(8, 1.5)] += 1
+        assert counts[0] > counts[-1] * 3
+
+    def test_invalid_size_rejected(self):
+        stream = RandomSource(5).stream("z3")
+        with pytest.raises(ValueError):
+            stream.zipf_index(0, 1.0)
+
+    @given(size=st.integers(min_value=1, max_value=50), skew=st.floats(min_value=0.0, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_zipf_index_always_in_range(self, size, skew):
+        stream = RandomSource(11).stream(f"zprop-{size}-{skew}")
+        index = stream.zipf_index(size, skew)
+        assert 0 <= index < size

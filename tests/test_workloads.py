@@ -1,0 +1,145 @@
+"""Tests for workload specs, generated procedures and the workload generator."""
+
+import pytest
+
+from repro import ClusterConfig, ReplicatedDatabase
+from repro.core.config import BROADCAST_OPTIMISTIC
+from repro.errors import WorkloadError
+from repro.workloads import (
+    READ_CLASSES_QUERY,
+    SUM_ALL_QUERY,
+    UPDATE_PROCEDURE,
+    WorkloadGenerator,
+    WorkloadSpec,
+    build_conflict_map,
+    build_initial_data,
+    build_partitioned_registry,
+    partition_class_id,
+    partition_key,
+)
+
+
+class TestWorkloadSpec:
+    def test_defaults_are_valid(self):
+        spec = WorkloadSpec()
+        assert spec.class_count >= 1
+        assert spec.effective_query_span <= spec.class_count
+
+    def test_totals(self):
+        spec = WorkloadSpec(updates_per_site=10, queries_per_site=3)
+        assert spec.total_updates(4) == 40
+        assert spec.total_queries(4) == 12
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"class_count": 0},
+            {"objects_per_class": 0},
+            {"updates_per_site": -1},
+            {"update_interval": -0.1},
+            {"query_span": 0},
+            {"operations_per_update": 0},
+            {"class_skew": -1.0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(**kwargs)
+
+    def test_query_span_clamped(self):
+        spec = WorkloadSpec(class_count=2, query_span=10)
+        assert spec.effective_query_span == 2
+
+    def test_partition_naming(self):
+        assert partition_class_id(3) == "C3"
+        assert partition_key(3, 7) == "part3:obj7"
+
+
+class TestGeneratedProcedures:
+    def test_initial_data_covers_all_partitions(self):
+        spec = WorkloadSpec(class_count=3, objects_per_class=5, initial_value=42)
+        data = build_initial_data(spec)
+        assert len(data) == 15
+        assert data[partition_key(2, 4)] == 42
+
+    def test_registry_contains_expected_procedures(self):
+        registry = build_partitioned_registry(WorkloadSpec())
+        assert UPDATE_PROCEDURE in registry
+        assert READ_CLASSES_QUERY in registry
+        assert SUM_ALL_QUERY in registry
+        assert registry.get(READ_CLASSES_QUERY).is_query
+        assert not registry.get(UPDATE_PROCEDURE).is_query
+
+    def test_update_procedure_maps_to_partition_class(self):
+        registry = build_partitioned_registry(WorkloadSpec())
+        assert registry.get(UPDATE_PROCEDURE).resolve_conflict_class({"class_index": 5}) == "C5"
+
+    def test_conflict_map_assigns_keys_to_partitions(self):
+        conflict_map = build_conflict_map(WorkloadSpec(class_count=4))
+        assert conflict_map.class_of_key(partition_key(2, 9)) == "C2"
+        assert len(conflict_map) == 4
+
+
+class TestWorkloadGenerator:
+    def build_cluster(self, spec, seed=1):
+        return ReplicatedDatabase(
+            ClusterConfig(site_count=3, seed=seed, broadcast=BROADCAST_OPTIMISTIC),
+            build_partitioned_registry(spec),
+            initial_data=build_initial_data(spec),
+        )
+
+    def test_plan_has_expected_operation_counts(self):
+        spec = WorkloadSpec(updates_per_site=5, queries_per_site=2)
+        cluster = self.build_cluster(spec)
+        plan = WorkloadGenerator(spec).apply(cluster)
+        assert plan.update_count == 15
+        assert plan.query_count == 6
+        assert plan.last_submission_time() > 0.0
+
+    def test_same_seed_produces_identical_plan(self):
+        spec = WorkloadSpec(updates_per_site=5, queries_per_site=2)
+        plan_a = WorkloadGenerator(spec).apply(self.build_cluster(spec, seed=7))
+        plan_b = WorkloadGenerator(spec).apply(self.build_cluster(spec, seed=7))
+        assert [
+            (op.site_id, op.procedure_name, op.scheduled_at, str(op.parameters))
+            for op in plan_a.operations
+        ] == [
+            (op.site_id, op.procedure_name, op.scheduled_at, str(op.parameters))
+            for op in plan_b.operations
+        ]
+
+    def test_different_seeds_produce_different_plans(self):
+        spec = WorkloadSpec(updates_per_site=10)
+        plan_a = WorkloadGenerator(spec).apply(self.build_cluster(spec, seed=1))
+        plan_b = WorkloadGenerator(spec).apply(self.build_cluster(spec, seed=2))
+        assert [op.scheduled_at for op in plan_a.operations] != [
+            op.scheduled_at for op in plan_b.operations
+        ]
+
+    def test_applied_workload_runs_to_completion_and_commits_everything(self):
+        spec = WorkloadSpec(updates_per_site=8, queries_per_site=2, class_count=4)
+        cluster = self.build_cluster(spec)
+        plan = WorkloadGenerator(spec).apply(cluster)
+        cluster.run_until_idle()
+        counts = set(cluster.committed_counts().values())
+        assert counts == {plan.update_count}
+        assert cluster.database_divergence() == {}
+
+    def test_class_skew_concentrates_updates(self):
+        spec = WorkloadSpec(updates_per_site=60, class_count=6, class_skew=2.0)
+        cluster = self.build_cluster(spec)
+        plan = WorkloadGenerator(spec).apply(cluster)
+        class_counts = {}
+        for operation in plan.operations:
+            class_counts[operation.parameters["class_index"]] = (
+                class_counts.get(operation.parameters["class_index"], 0) + 1
+            )
+        assert class_counts.get(0, 0) > class_counts.get(5, 0)
+
+    def test_query_parameters_reference_valid_classes(self):
+        spec = WorkloadSpec(queries_per_site=5, class_count=3, query_span=2)
+        cluster = self.build_cluster(spec)
+        plan = WorkloadGenerator(spec).apply(cluster)
+        for operation in plan.operations:
+            if operation.is_query:
+                assert all(0 <= index < 3 for index in operation.parameters["class_indexes"])
