@@ -31,6 +31,7 @@ from .core import (
     BROADCAST_OPTIMISTIC,
     ClusterConfig,
     ReplicatedDatabase,
+    ShardingConfig,
 )
 from .database import (
     ConflictClassMap,
@@ -38,12 +39,17 @@ from .database import (
     StoredProcedure,
     TransactionContext,
 )
+from .sharding import ShardMap, ShardedCluster, TransactionRouter
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ClusterConfig",
     "ReplicatedDatabase",
+    "ShardingConfig",
+    "ShardMap",
+    "ShardedCluster",
+    "TransactionRouter",
     "BROADCAST_OPTIMISTIC",
     "BROADCAST_CONSERVATIVE",
     "ConflictClassMap",

@@ -35,7 +35,7 @@ a majority-based agreement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from ..errors import BroadcastError
 from ..network.dispatcher import SiteDispatcher
@@ -109,6 +109,7 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
         ordering_mode: str = "sequencer",
         voting_timeout: float = 0.010,
         echo_on_first_receipt: bool = False,
+        group: Optional[Sequence[SiteId]] = None,
     ) -> None:
         super().__init__(site_id)
         if ordering_mode not in ORDERING_MODES:
@@ -122,12 +123,14 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
         self.coordinator_site = coordinator_site
         self.ordering_mode = ordering_mode
         self.voting_timeout = voting_timeout
+        self.group = list(group) if group is not None else None
         self._data_channel = ReliableBroadcast(
             kernel,
             transport,
             site_id,
             echo_on_first_receipt=echo_on_first_receipt,
             kind=OPTIMISTIC_DATA_KIND,
+            group=self.group,
         )
         self._order_channel = ReliableBroadcast(
             kernel,
@@ -135,6 +138,7 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
             site_id,
             echo_on_first_receipt=echo_on_first_receipt,
             kind=OPTIMISTIC_ORDER_KIND,
+            group=self.group,
         )
         dispatcher.register_kind(OPTIMISTIC_DATA_KIND, self._data_channel.on_envelope)
         dispatcher.register_kind(OPTIMISTIC_ORDER_KIND, self._order_channel.on_envelope)
@@ -266,9 +270,8 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
     def _maybe_release(self, pending: _PendingConfirmation) -> None:
         if pending.released:
             return
-        expected_sites = [
-            site for site in self.transport.sites() if self.transport.is_site_up(site)
-        ]
+        members = self.group if self.group is not None else self.transport.sites()
+        expected_sites = [site for site in members if self.transport.is_site_up(site)]
         if not all(site in pending.announced_positions for site in expected_sites):
             return
         pending.released = True
@@ -285,7 +288,9 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
             message_id=message_id, site_id=self.site_id, local_position=local_position
         )
         self.stats.control_messages += 1
-        self.transport.multicast(self.site_id, announce, kind=OPTIMISTIC_ANNOUNCE_KIND)
+        self.transport.multicast(
+            self.site_id, announce, kind=OPTIMISTIC_ANNOUNCE_KIND, destinations=self.group
+        )
 
     def _on_announce_envelope(self, envelope) -> bool:
         announce = envelope.payload

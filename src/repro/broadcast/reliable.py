@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from ..network.message import Envelope
 from ..network.transport import NetworkTransport
@@ -47,6 +47,12 @@ class ReliableBroadcast:
         time it receives it, which masks a sender crash in the middle of a
         multicast.  Experiments that only run failure-free scenarios can turn
         echoing off to reduce the number of simulated envelopes.
+    group:
+        Optional broadcast-group membership (a list of site ids).  When set,
+        multicasts are restricted to exactly these sites, which lets several
+        independent broadcast groups — e.g. one per shard — share a single
+        network transport.  ``None`` (default) addresses every registered
+        site, preserving the original fully-replicated behaviour.
     """
 
     def __init__(
@@ -57,12 +63,14 @@ class ReliableBroadcast:
         *,
         echo_on_first_receipt: bool = True,
         kind: str = RELIABLE_KIND,
+        group: Optional[Sequence[SiteId]] = None,
     ) -> None:
         self.kernel = kernel
         self.transport = transport
         self.site_id = site_id
         self.kind = kind
         self.echo_on_first_receipt = echo_on_first_receipt
+        self.group: Optional[List[SiteId]] = list(group) if group is not None else None
         self._delivered: Set[MessageId] = set()
         self._listeners: List[ReliableDeliveryListener] = []
         self.delivery_log: List[MessageId] = []
@@ -73,10 +81,12 @@ class ReliableBroadcast:
         self._listeners.append(listener)
 
     def broadcast(self, content: Any) -> MessageId:
-        """Reliably broadcast ``content`` to all sites (including self)."""
+        """Reliably broadcast ``content`` to the group (including self)."""
         rb_id = f"rb:{self.site_id}:{next(_RB_COUNTER)}"
         payload = ReliablePayload(rb_id=rb_id, origin=self.site_id, content=content)
-        self.transport.multicast(self.site_id, payload, kind=self.kind)
+        self.transport.multicast(
+            self.site_id, payload, kind=self.kind, destinations=self.group
+        )
         return rb_id
 
     def on_envelope(self, envelope: Envelope) -> bool:
@@ -101,7 +111,13 @@ class ReliableBroadcast:
                 content=payload.content,
                 echo=True,
             )
-            self.transport.multicast(self.site_id, echo, kind=self.kind, include_sender=False)
+            self.transport.multicast(
+                self.site_id,
+                echo,
+                kind=self.kind,
+                destinations=self.group,
+                include_sender=False,
+            )
         self.delivery_log.append(payload.rb_id)
         for listener in self._listeners:
             listener(payload.rb_id, payload.origin, payload.content)

@@ -12,7 +12,7 @@ always identical to the definitive order and no optimistic overlap exists.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import BroadcastError
 from ..network.dispatcher import SiteDispatcher
@@ -55,6 +55,9 @@ class SequencerAtomicBroadcast(AtomicBroadcastEndpoint):
         group must agree on this value.  When the sequencer crashes, the
         surviving sites can promote a new one with :meth:`set_sequencer`
         (positions continue from the highest order seen).
+    group:
+        Optional broadcast-group membership; restricts multicasts to these
+        sites so several groups (shards) can share one transport.
     """
 
     def __init__(
@@ -66,17 +69,20 @@ class SequencerAtomicBroadcast(AtomicBroadcastEndpoint):
         *,
         sequencer_site: SiteId,
         echo_on_first_receipt: bool = False,
+        group: Optional[Sequence[SiteId]] = None,
     ) -> None:
         super().__init__(site_id)
         self.kernel = kernel
         self.transport = transport
         self.sequencer_site = sequencer_site
+        self.group = list(group) if group is not None else None
         self._data_channel = ReliableBroadcast(
             kernel,
             transport,
             site_id,
             echo_on_first_receipt=echo_on_first_receipt,
             kind=SEQUENCER_DATA_KIND,
+            group=self.group,
         )
         self._order_channel = ReliableBroadcast(
             kernel,
@@ -84,6 +90,7 @@ class SequencerAtomicBroadcast(AtomicBroadcastEndpoint):
             site_id,
             echo_on_first_receipt=echo_on_first_receipt,
             kind=SEQUENCER_ORDER_KIND,
+            group=self.group,
         )
         dispatcher.register_kind(SEQUENCER_DATA_KIND, self._data_channel.on_envelope)
         dispatcher.register_kind(SEQUENCER_ORDER_KIND, self._order_channel.on_envelope)

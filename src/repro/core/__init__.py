@@ -15,6 +15,7 @@ from .config import (
     BROADCAST_CONSERVATIVE,
     BROADCAST_OPTIMISTIC,
     ClusterConfig,
+    ShardingConfig,
 )
 from .execution import ExecutionEngine, QueryEngine, QueryExecution
 from .lockscheduler import LockBasedOTPScheduler, ObjectQueue
@@ -24,6 +25,7 @@ from .scheduler import OTPScheduler
 __all__ = [
     "ReplicatedDatabase",
     "ClusterConfig",
+    "ShardingConfig",
     "BROADCAST_CHOICES",
     "BROADCAST_CONSERVATIVE",
     "BROADCAST_OPTIMISTIC",

@@ -43,6 +43,12 @@ class ReplicatedDatabase:
         and snapshot bookkeeping; procedures carry their own class).
     initial_data:
         Initial object values loaded into every replica.
+    kernel / transport:
+        Optional shared simulation kernel and network transport.  When given
+        (e.g. by :class:`repro.sharding.ShardedCluster`, which runs several
+        broadcast groups on one simulated network), the cluster attaches its
+        sites to the shared infrastructure instead of creating its own; its
+        broadcast traffic is then scoped to this cluster's site group.
     """
 
     def __init__(
@@ -52,12 +58,16 @@ class ReplicatedDatabase:
         *,
         conflict_map: Optional[ConflictClassMap] = None,
         initial_data: Optional[Dict[ObjectKey, ObjectValue]] = None,
+        kernel: Optional[SimulationKernel] = None,
+        transport: Optional[NetworkTransport] = None,
     ) -> None:
+        if transport is not None and kernel is None:
+            raise ReplicationError("a shared transport requires a shared kernel")
         self.config = config
         self.registry = registry
         self.conflict_map = conflict_map or ConflictClassMap()
-        self.kernel = SimulationKernel(seed=config.seed)
-        self.transport = NetworkTransport(
+        self.kernel = kernel if kernel is not None else SimulationKernel(seed=config.seed)
+        self.transport = transport if transport is not None else NetworkTransport(
             self.kernel,
             config.latency_model,
             loss_probability=config.loss_probability,
@@ -92,6 +102,7 @@ class ReplicatedDatabase:
                     ordering_mode=config.ordering_mode,
                     voting_timeout=config.voting_timeout,
                     echo_on_first_receipt=config.echo_on_first_receipt,
+                    group=site_ids,
                 )
             else:
                 endpoint = SequencerAtomicBroadcast(
@@ -101,6 +112,7 @@ class ReplicatedDatabase:
                     site_id,
                     sequencer_site=coordinator,
                     echo_on_first_receipt=config.echo_on_first_receipt,
+                    group=site_ids,
                 )
             self._broadcasts[site_id] = endpoint
             self.replicas[site_id] = ReplicaManager(

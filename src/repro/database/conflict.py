@@ -14,7 +14,7 @@ TO-delivered transaction in front of all still-pending ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import ConflictClassError
 from ..types import ConflictClassId, ObjectKey, TransactionId
@@ -33,7 +33,7 @@ class ConflictClass:
     """
 
     class_id: ConflictClassId
-    key_prefixes: tuple = ()
+    key_prefixes: Tuple[str, ...] = ()
     description: str = ""
 
     def owns_key(self, key: ObjectKey) -> bool:
@@ -54,12 +54,27 @@ class ConflictClassMap:
         key_prefixes: Iterable[str] = (),
         description: str = "",
     ) -> ConflictClass:
-        """Define a conflict class owning the keys matching ``key_prefixes``."""
+        """Define a conflict class owning the keys matching ``key_prefixes``.
+
+        Partitions must be disjoint (paper Section 2.3): a prefix that is a
+        prefix of — or extends — a prefix of an already-defined class would
+        make some keys belong to two classes, so it is rejected.
+        """
         if class_id in self._classes:
             raise ConflictClassError(f"conflict class {class_id!r} already defined")
+        prefixes = tuple(key_prefixes)
+        for existing in self._classes.values():
+            for theirs in existing.key_prefixes:
+                for ours in prefixes:
+                    if ours.startswith(theirs) or theirs.startswith(ours):
+                        raise ConflictClassError(
+                            f"key prefix {ours!r} of class {class_id!r} overlaps "
+                            f"prefix {theirs!r} of class {existing.class_id!r}; "
+                            "conflict classes must own disjoint partitions"
+                        )
         conflict_class = ConflictClass(
             class_id=class_id,
-            key_prefixes=tuple(key_prefixes),
+            key_prefixes=prefixes,
             description=description,
         )
         self._classes[class_id] = conflict_class

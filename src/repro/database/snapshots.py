@@ -18,7 +18,7 @@ query indices and hands out read-only views.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..errors import SnapshotError
 from ..types import ObjectKey, ObjectValue
@@ -52,23 +52,37 @@ class SnapshotManager:
     def __init__(self, store: MultiVersionStore) -> None:
         self._store = store
         self._last_processed_index: int = MultiVersionStore.INITIAL_INDEX
+        self._pending_indices: Set[int] = set()
         self.snapshots_taken = 0
 
     # ----------------------------------------------------------------- state
     @property
     def last_processed_index(self) -> int:
-        """Index of the last committed (processed TO-delivered) transaction."""
+        """Largest index ``i`` such that every transaction ``<= i`` committed.
+
+        Commits of *different* conflict classes may complete out of
+        definitive order (a later-ordered transaction of another class can
+        finish executing first), so the frontier advances only once the
+        prefix is gap-free.  This is what makes a query snapshot at ``i.5``
+        stable: every version with index ``<= i`` is already installed when
+        the query starts, and everything installed later has index ``> i``.
+        """
         return self._last_processed_index
 
     def advance(self, committed_index: int) -> None:
         """Record that the transaction with ``committed_index`` has committed.
 
-        Indices normally advance monotonically (commit order follows the
-        definitive total order); a lagging value is ignored rather than
-        rejected so that idempotent replays are harmless.
+        The frontier only moves past an index once every smaller index has
+        committed too; out-of-order commits are parked until the gap fills.
+        Replaying an index at or below the frontier is harmless (idempotent
+        recovery replays).
         """
-        if committed_index > self._last_processed_index:
-            self._last_processed_index = committed_index
+        if committed_index <= self._last_processed_index:
+            return
+        self._pending_indices.add(committed_index)
+        while self._last_processed_index + 1 in self._pending_indices:
+            self._last_processed_index += 1
+            self._pending_indices.discard(self._last_processed_index)
 
     # ------------------------------------------------------------- snapshots
     def next_query_index(self) -> float:

@@ -71,6 +71,10 @@ class ReplicationError(ReproError):
     """Raised by replica managers and cluster facades."""
 
 
+class ShardingError(ReproError):
+    """Raised by the sharding subsystem (shard maps, routers, facades)."""
+
+
 class WorkloadError(ReproError):
     """Raised for invalid workload specifications."""
 

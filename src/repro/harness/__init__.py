@@ -2,14 +2,17 @@
 
 from .experiments import (
     RunSummary,
+    ShardedRunSummary,
     conflict_experiment,
     figure1_spontaneous_order,
     lazy_comparison_experiment,
     optimism_tradeoff_experiment,
     overlap_experiment,
     query_experiment,
+    run_sharded_workload,
     run_standard_workload,
     scalability_experiment,
+    sharded_scalability_experiment,
 )
 from .reporting import ascii_plot, format_mapping, format_table
 from .results import ExperimentResult
@@ -22,6 +25,9 @@ from .runner import (
 
 __all__ = [
     "RunSummary",
+    "ShardedRunSummary",
+    "run_sharded_workload",
+    "sharded_scalability_experiment",
     "conflict_experiment",
     "figure1_spontaneous_order",
     "lazy_comparison_experiment",

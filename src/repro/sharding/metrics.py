@@ -1,0 +1,118 @@
+"""Per-shard metrics aggregation for sharded clusters.
+
+Collapses the per-replica metric collectors of every shard into one
+:class:`ShardedMetricsReport`: a per-shard load summary (committed
+transactions, throughput over the shard's busy window, latencies, aborts)
+plus cluster-wide aggregates used by the scale-out benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..metrics.stats import mean, summarize
+from ..types import ShardId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .cluster import ShardedCluster
+
+
+@dataclass
+class ShardLoadSummary:
+    """Aggregate load observed by one shard's replica group."""
+
+    shard_id: ShardId
+    site_count: int
+    committed: int
+    throughput_tps: float
+    mean_client_latency: float
+    p90_client_latency: float
+    mean_ordering_delay: float
+    reorder_aborts: int
+    queries_completed: int
+    first_submit_at: Optional[float]
+    last_commit_at: Optional[float]
+
+
+@dataclass
+class ShardedMetricsReport:
+    """Per-shard summaries plus cluster-wide aggregates."""
+
+    shards: List[ShardLoadSummary] = field(default_factory=list)
+    total_committed: int = 0
+    aggregate_throughput_tps: float = 0.0
+    mean_client_latency: float = 0.0
+    total_reorder_aborts: int = 0
+    duration: float = 0.0
+
+    def shard(self, shard_id: ShardId) -> ShardLoadSummary:
+        """Return the summary of one shard."""
+        for summary in self.shards:
+            if summary.shard_id == shard_id:
+                return summary
+        raise KeyError(shard_id)
+
+    def per_shard_throughput(self) -> Dict[ShardId, float]:
+        """Throughput of each shard over its own busy window."""
+        return {summary.shard_id: summary.throughput_tps for summary in self.shards}
+
+
+def summarize_shard(cluster: "ShardedCluster", shard_id: ShardId) -> ShardLoadSummary:
+    """Summarize the metrics of one shard's replica group."""
+    shard = cluster.shard(shard_id)
+    committed = shard.committed_counts()
+    distinct_committed = max(committed.values()) if committed else 0
+
+    submit_times: List[float] = []
+    commit_times: List[float] = []
+    ordering_delays: List[float] = []
+    queries_completed = 0
+    for replica in shard.replicas.values():
+        for submitted in replica.submitted.values():
+            submit_times.append(submitted.submitted_at)
+            if submitted.committed_at is not None:
+                commit_times.append(submitted.committed_at)
+        ordering_delays.extend(replica.metrics.latency("ordering_delay").samples)
+        queries_completed += replica.metrics.count("queries_completed")
+
+    duration = (max(commit_times) - min(submit_times)) if commit_times else 0.0
+    latency_summary = summarize(shard.all_client_latencies())
+    return ShardLoadSummary(
+        shard_id=shard_id,
+        site_count=len(shard.replicas),
+        committed=distinct_committed,
+        throughput_tps=distinct_committed / duration if duration > 0 else 0.0,
+        mean_client_latency=latency_summary.mean,
+        p90_client_latency=latency_summary.p90,
+        mean_ordering_delay=mean(ordering_delays),
+        reorder_aborts=shard.total_reorder_aborts(),
+        queries_completed=queries_completed,
+        first_submit_at=min(submit_times) if submit_times else None,
+        last_commit_at=max(commit_times) if commit_times else None,
+    )
+
+
+def aggregate_shard_metrics(cluster: "ShardedCluster") -> ShardedMetricsReport:
+    """Aggregate every shard's metrics into one report.
+
+    The aggregate throughput divides the total number of distinct committed
+    update transactions by the cluster-wide busy window (first submission to
+    last commit across all shards), so it reflects the wall-clock rate a
+    client of the whole sharded system observes.
+    """
+    report = ShardedMetricsReport()
+    for shard_id in cluster.shard_ids():
+        report.shards.append(summarize_shard(cluster, shard_id))
+
+    report.total_committed = sum(summary.committed for summary in report.shards)
+    report.total_reorder_aborts = sum(summary.reorder_aborts for summary in report.shards)
+    report.mean_client_latency = mean(cluster.all_client_latencies())
+
+    starts = [s.first_submit_at for s in report.shards if s.first_submit_at is not None]
+    ends = [s.last_commit_at for s in report.shards if s.last_commit_at is not None]
+    if starts and ends:
+        report.duration = max(ends) - min(starts)
+    if report.duration > 0:
+        report.aggregate_throughput_tps = report.total_committed / report.duration
+    return report

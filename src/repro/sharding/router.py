@@ -1,0 +1,279 @@
+"""Transaction router: cross-shard routing of updates and queries.
+
+Update transactions belong to exactly one conflict class, so the router
+forwards each one to the shard owning that class and lets the shard's own
+atomic broadcast sequence it.  Read-only queries may span several conflict
+classes (paper Section 5) and therefore several shards: the router splits
+the class list by owning shard, runs one snapshot sub-query per shard, and
+merges the partial results once every sub-query has completed.
+
+Cross-shard consistency of the merged result follows from the paper's
+argument for multi-class queries: each sub-query reads a consistent
+multi-version snapshot of its shard (a committed prefix of the shard's
+definitive total order), and since no update transaction spans shards there
+is no cross-shard conflict a combination of per-shard snapshots could
+violate.  The verification layer re-checks this property explicitly
+(:mod:`repro.verification.sharded`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core.execution import QueryExecution
+from ..database.procedures import ProcedureRegistry
+from ..errors import ShardingError
+from ..types import ConflictClassId, ShardId, SiteId, TransactionId
+from ..workloads.specs import partition_class_id
+from .shardmap import ShardMap
+
+#: Maps ``(procedure_name, parameters)`` to the conflict classes the query
+#: reads, and back to per-shard parameters for the fan-out sub-queries.
+QueryClassesFn = Callable[[str, Dict[str, Any]], List[ConflictClassId]]
+SubqueryParametersFn = Callable[
+    [str, Dict[str, Any], Sequence[ConflictClassId]], Dict[str, Any]
+]
+
+
+def partitioned_query_classes(
+    procedure_name: str, parameters: Dict[str, Any]
+) -> List[ConflictClassId]:
+    """Classes read by a standard-workload query (``class_indexes`` param)."""
+    if "class_indexes" not in parameters:
+        raise ShardingError(
+            f"cannot infer the conflict classes of query {procedure_name!r}: "
+            "parameters carry no 'class_indexes'"
+        )
+    return [partition_class_id(int(index)) for index in parameters["class_indexes"]]
+
+
+def partitioned_subquery_parameters(
+    procedure_name: str,
+    parameters: Dict[str, Any],
+    classes: Sequence[ConflictClassId],
+) -> Dict[str, Any]:
+    """Restrict a standard-workload query's parameters to ``classes``."""
+    sub = dict(parameters)
+    sub["class_indexes"] = sorted(int(class_id[1:]) for class_id in classes)
+    return sub
+
+
+def merge_sum(results: Sequence[Any]) -> Any:
+    """Default merge for fan-out queries: sum the partial results."""
+    return sum(results)
+
+
+@dataclass
+class RoutedUpdate:
+    """Routing record of one update transaction."""
+
+    transaction_id: TransactionId
+    conflict_class: ConflictClassId
+    shard_id: ShardId
+    site_id: SiteId
+    routed_at: float
+
+
+@dataclass
+class ShardSubQuery:
+    """One per-shard leg of a fanned-out multi-class query."""
+
+    shard_id: ShardId
+    site_id: SiteId
+    classes: List[ConflictClassId]
+    parameters: Dict[str, Any]
+    execution: QueryExecution
+
+
+@dataclass
+class ShardedQueryExecution:
+    """Bookkeeping of one multi-shard query and its snapshot merge."""
+
+    query_id: str
+    procedure_name: str
+    submitted_at: float
+    subqueries: List[ShardSubQuery] = field(default_factory=list)
+    merged_result: Any = None
+    completed_at: Optional[float] = None
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every sub-query completed and the merge was produced."""
+        return self.completed_at is not None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Response time of the whole fan-out (``None`` while running)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    @property
+    def shard_ids(self) -> List[ShardId]:
+        """Shards this query touched."""
+        return [subquery.shard_id for subquery in self.subqueries]
+
+
+class TransactionRouter:
+    """Routes updates to their owning shard and fans out multi-shard queries.
+
+    Parameters
+    ----------
+    cluster:
+        The :class:`~repro.sharding.cluster.ShardedCluster` to route into.
+    query_classes / subquery_parameters:
+        Workload-specific hooks describing which conflict classes a query
+        reads and how to restrict its parameters to a subset of classes.
+        They default to the standard partitioned workload's convention
+        (a ``class_indexes`` parameter).
+    merge:
+        Combines the per-shard partial results into the merged result
+        (defaults to summation, matching the standard scan queries).
+    """
+
+    def __init__(
+        self,
+        cluster: "ShardedClusterLike",
+        *,
+        query_classes: QueryClassesFn = partitioned_query_classes,
+        subquery_parameters: SubqueryParametersFn = partitioned_subquery_parameters,
+        merge: Callable[[Sequence[Any]], Any] = merge_sum,
+    ) -> None:
+        self.cluster = cluster
+        self.shard_map: ShardMap = cluster.shard_map
+        self.registry: ProcedureRegistry = cluster.registry
+        self.query_classes = query_classes
+        self.subquery_parameters = subquery_parameters
+        self.merge = merge
+        self.routed_updates: List[RoutedUpdate] = []
+        self.sharded_queries: List[ShardedQueryExecution] = []
+        self._site_cursor: Dict[ShardId, int] = {}
+        self._query_counter = 0
+
+    # --------------------------------------------------------------- updates
+    def route_update(
+        self,
+        procedure_name: str,
+        parameters: Optional[Dict[str, Any]] = None,
+        *,
+        site_index: Optional[int] = None,
+    ) -> RoutedUpdate:
+        """Submit an update transaction at a site of its owning shard.
+
+        ``site_index`` pins the submission to a specific replica of the shard
+        (a client's home site); without it, submissions rotate round-robin
+        over the shard's replicas.
+        """
+        parameters = dict(parameters or {})
+        procedure = self.registry.get(procedure_name)
+        if procedure.is_query:
+            raise ShardingError(
+                f"procedure {procedure_name!r} is a query; use route_query instead"
+            )
+        conflict_class = procedure.resolve_conflict_class(parameters)
+        if conflict_class is None:
+            raise ShardingError(
+                f"update procedure {procedure_name!r} resolved no conflict class"
+            )
+        shard_id = self.shard_map.shard_of_class(conflict_class)
+        site_id = self._pick_site(shard_id, site_index)
+        transaction_id = self.cluster.shard(shard_id).submit(
+            site_id, procedure_name, parameters
+        )
+        routed = RoutedUpdate(
+            transaction_id=transaction_id,
+            conflict_class=conflict_class,
+            shard_id=shard_id,
+            site_id=site_id,
+            routed_at=self.cluster.kernel.now(),
+        )
+        self.routed_updates.append(routed)
+        return routed
+
+    # --------------------------------------------------------------- queries
+    def route_query(
+        self,
+        procedure_name: str,
+        parameters: Optional[Dict[str, Any]] = None,
+        *,
+        site_index: Optional[int] = None,
+        on_complete: Optional[Callable[[ShardedQueryExecution], None]] = None,
+    ) -> ShardedQueryExecution:
+        """Fan a multi-class query out to every shard it touches.
+
+        Each owning shard executes a snapshot sub-query over its own classes;
+        the merged result is produced (and ``on_complete`` fired) once the
+        last sub-query finishes.  A query touching a single shard degenerates
+        to one local snapshot query with no merge overhead beyond a callback.
+        """
+        parameters = dict(parameters or {})
+        procedure = self.registry.get(procedure_name)
+        if not procedure.is_query:
+            raise ShardingError(
+                f"procedure {procedure_name!r} is an update transaction; "
+                "use route_update instead"
+            )
+        classes = self.query_classes(procedure_name, parameters)
+        if not classes:
+            raise ShardingError(f"query {procedure_name!r} reads no conflict classes")
+        by_shard = self.shard_map.split_by_shard(classes)
+        self._query_counter += 1
+        sharded = ShardedQueryExecution(
+            query_id=f"SQ:{self._query_counter}",
+            procedure_name=procedure_name,
+            submitted_at=self.cluster.kernel.now(),
+        )
+        self.sharded_queries.append(sharded)
+        remaining = {"count": len(by_shard)}
+
+        def subquery_finished(_execution: QueryExecution) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] > 0:
+                return
+            sharded.merged_result = self.merge(
+                [subquery.execution.result for subquery in sharded.subqueries]
+            )
+            sharded.completed_at = self.cluster.kernel.now()
+            if on_complete is not None:
+                on_complete(sharded)
+
+        for shard_id in sorted(by_shard):
+            shard_classes = by_shard[shard_id]
+            sub_parameters = self.subquery_parameters(
+                procedure_name, parameters, shard_classes
+            )
+            site_id = self._pick_site(shard_id, site_index)
+            execution = self.cluster.shard(shard_id).replica(site_id).submit_query(
+                procedure_name, sub_parameters, on_complete=subquery_finished
+            )
+            sharded.subqueries.append(
+                ShardSubQuery(
+                    shard_id=shard_id,
+                    site_id=site_id,
+                    classes=list(shard_classes),
+                    parameters=dict(sub_parameters),
+                    execution=execution,
+                )
+            )
+        return sharded
+
+    # -------------------------------------------------------------- internal
+    def _pick_site(self, shard_id: ShardId, site_index: Optional[int]) -> SiteId:
+        sites = self.cluster.shard(shard_id).site_ids()
+        if site_index is not None:
+            return sites[site_index % len(sites)]
+        cursor = self._site_cursor.get(shard_id, 0)
+        self._site_cursor[shard_id] = cursor + 1
+        return sites[cursor % len(sites)]
+
+
+class ShardedClusterLike:
+    """Structural interface the router needs (satisfied by ShardedCluster)."""
+
+    kernel: Any
+    shard_map: ShardMap
+    registry: ProcedureRegistry
+
+    def shard(self, shard_id: ShardId):  # pragma: no cover - protocol stub
+        raise NotImplementedError

@@ -16,6 +16,10 @@ MessageId = str
 #: Identifier of a conflict class (e.g. ``"C_accounts_0"``).
 ConflictClassId = str
 
+#: Identifier of a shard — an independent broadcast group + replica set
+#: owning a subset of the conflict classes (e.g. ``"S1"``).
+ShardId = str
+
 #: Key of a data object in the replicated database.
 ObjectKey = str
 

@@ -7,6 +7,12 @@ from .onecopy import (
     serial_history_from_definitive_order,
 )
 from .properties import BroadcastPropertyReport, check_broadcast_properties
+from .sharded import (
+    ShardedVerificationReport,
+    check_cross_shard_query_consistency,
+    check_sharded_cluster,
+    check_sharded_one_copy_serializability,
+)
 
 __all__ = [
     "OneCopyReport",
@@ -15,4 +21,8 @@ __all__ = [
     "serial_history_from_definitive_order",
     "BroadcastPropertyReport",
     "check_broadcast_properties",
+    "ShardedVerificationReport",
+    "check_cross_shard_query_consistency",
+    "check_sharded_cluster",
+    "check_sharded_one_copy_serializability",
 ]

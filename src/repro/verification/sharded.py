@@ -1,0 +1,171 @@
+"""Verification of sharded executions (per-shard 1SR + cross-shard queries).
+
+Sharding the conflict classes over independent broadcast groups changes what
+must be verified:
+
+1. **Per-shard one-copy serializability** — every shard is a fully
+   replicated database in its own right, so the seed's
+   :func:`~repro.verification.onecopy.check_one_copy_serializability` check
+   must hold within each shard (including Lemma 4.1 against the shard's own
+   definitive total order).  Because no update transaction spans shards, the
+   union of the per-shard serial histories is itself serializable: any
+   interleaving of transactions from different shards is conflict-free.
+
+2. **Cross-shard query snapshot consistency** — a fanned-out query reads one
+   multi-version snapshot per shard.  For the merge to be consistent, every
+   sub-query's recorded result must equal a re-evaluation of the sub-query
+   against its shard's final multi-version store bounded by the recorded
+   query index (the snapshot corresponds to a fixed committed prefix of the
+   shard's definitive order and was not perturbed by concurrent commits),
+   and the recorded merged result must equal the merge of the sub-results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence
+
+from ..database.procedures import TransactionContext
+from ..errors import VerificationError
+from ..types import ShardId
+from .onecopy import OneCopyReport, check_one_copy_serializability
+from .properties import BroadcastPropertyReport, check_broadcast_properties
+
+
+@dataclass
+class ShardedVerificationReport:
+    """Result of verifying a sharded run end to end."""
+
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+    per_shard_one_copy: Dict[ShardId, OneCopyReport] = field(default_factory=dict)
+    per_shard_broadcast: Dict[ShardId, BroadcastPropertyReport] = field(default_factory=dict)
+    queries_checked: int = 0
+    subqueries_checked: int = 0
+
+    def raise_if_violated(self) -> None:
+        """Raise :class:`VerificationError` when any check failed."""
+        if not self.ok:
+            raise VerificationError(
+                "sharded verification failed: " + "; ".join(self.violations)
+            )
+
+
+def check_sharded_one_copy_serializability(cluster) -> ShardedVerificationReport:
+    """Check 1-copy-serializability independently within every shard.
+
+    ``cluster`` is a :class:`~repro.sharding.cluster.ShardedCluster`; the
+    check also validates the five atomic-broadcast properties of each
+    shard's own broadcast group — with shards sharing one transport, this
+    additionally proves that no shard's group delivered another shard's
+    messages (Global Agreement would fail on the foreign message set).
+    """
+    report = ShardedVerificationReport(ok=True)
+    definitive_orders = cluster.definitive_orders()
+    for shard_id, shard in cluster.shards.items():
+        histories = shard.histories()
+        endpoints = {site: shard.broadcast_endpoint(site) for site in shard.site_ids()}
+        # The shard's transaction ids follow its own broadcast's total order:
+        # map message ids to transaction ids through the coordinator's log.
+        order = []
+        coordinator = shard.coordinator_site()
+        coordinator_endpoint = shard.broadcast_endpoint(coordinator)
+        for message_id in definitive_orders[shard_id]:
+            record = coordinator_endpoint.message(message_id)
+            if record is not None and hasattr(record.payload, "transaction_id"):
+                order.append(record.payload.transaction_id)
+        one_copy = check_one_copy_serializability(histories, definitive_order=order)
+        report.per_shard_one_copy[shard_id] = one_copy
+        if not one_copy.ok:
+            report.ok = False
+            report.violations.extend(
+                f"shard {shard_id}: {violation}" for violation in one_copy.violations
+            )
+        broadcast_report = check_broadcast_properties(endpoints)
+        report.per_shard_broadcast[shard_id] = broadcast_report
+        if not broadcast_report.ok:
+            report.ok = False
+            report.violations.extend(
+                f"shard {shard_id}: {violation}"
+                for violation in broadcast_report.violations
+            )
+    return report
+
+
+def check_cross_shard_query_consistency(
+    cluster,
+    queries: Sequence[Any] = None,
+    *,
+    merge: Callable[[Sequence[Any]], Any] = None,
+) -> ShardedVerificationReport:
+    """Check the snapshot consistency of fanned-out multi-shard queries.
+
+    For every completed :class:`ShardedQueryExecution` (defaults to all
+    queries routed through ``cluster.router``):
+
+    * each sub-query's recorded result must equal re-evaluating the stored
+      procedure against the final multi-version store of the site it ran on,
+      bounded by the sub-query's snapshot index — i.e. the snapshot was a
+      stable committed prefix of the shard's definitive order;
+    * the recorded merged result must equal the merge of the sub-results.
+    """
+    report = ShardedVerificationReport(ok=True)
+    if queries is None:
+        queries = cluster.router.sharded_queries
+    if merge is None:
+        merge = cluster.router.merge
+    for sharded_query in queries:
+        if not sharded_query.is_complete:
+            report.ok = False
+            report.violations.append(
+                f"query {sharded_query.query_id} never completed "
+                f"({len(sharded_query.subqueries)} sub-queries)"
+            )
+            continue
+        report.queries_checked += 1
+        sub_results: List[Any] = []
+        for subquery in sharded_query.subqueries:
+            report.subqueries_checked += 1
+            execution = subquery.execution
+            sub_results.append(execution.result)
+            replica = cluster.shard(subquery.shard_id).replica(subquery.site_id)
+            procedure = cluster.registry.get(sharded_query.procedure_name)
+            context = TransactionContext(
+                replica.store, snapshot_index=execution.query_index, read_only=True
+            )
+            replayed = procedure.body(context, subquery.parameters)
+            if replayed != execution.result:
+                report.ok = False
+                report.violations.append(
+                    f"query {sharded_query.query_id}, shard {subquery.shard_id}: "
+                    f"sub-query result {execution.result!r} does not match the "
+                    f"snapshot at index {execution.query_index} (replay gives "
+                    f"{replayed!r}); the snapshot was not a stable committed prefix"
+                )
+        if sharded_query.merged_result != merge(sub_results):
+            report.ok = False
+            report.violations.append(
+                f"query {sharded_query.query_id}: merged result "
+                f"{sharded_query.merged_result!r} does not equal the merge of its "
+                f"sub-results {sub_results!r}"
+            )
+    return report
+
+
+def check_sharded_cluster(cluster) -> ShardedVerificationReport:
+    """Full sharded verification: per-shard 1SR + cross-shard queries.
+
+    Combines :func:`check_sharded_one_copy_serializability` and
+    :func:`check_cross_shard_query_consistency` into one report.
+    """
+    one_copy = check_sharded_one_copy_serializability(cluster)
+    queries = check_cross_shard_query_consistency(cluster)
+    combined = ShardedVerificationReport(
+        ok=one_copy.ok and queries.ok,
+        violations=one_copy.violations + queries.violations,
+        per_shard_one_copy=one_copy.per_shard_one_copy,
+        per_shard_broadcast=one_copy.per_shard_broadcast,
+        queries_checked=queries.queries_checked,
+        subqueries_checked=queries.subqueries_checked,
+    )
+    return combined

@@ -14,6 +14,11 @@ from .procedures import (
     build_initial_data,
     build_partitioned_registry,
 )
+from .sharded import (
+    ShardedWorkloadGenerator,
+    ShardedWorkloadSpec,
+    build_shard_map,
+)
 from .specs import (
     PARTITION_KEY_PREFIX,
     WorkloadSpec,
@@ -32,6 +37,9 @@ __all__ = [
     "build_conflict_map",
     "build_initial_data",
     "build_partitioned_registry",
+    "ShardedWorkloadGenerator",
+    "ShardedWorkloadSpec",
+    "build_shard_map",
     "WorkloadSpec",
     "PARTITION_KEY_PREFIX",
     "partition_class_id",

@@ -164,14 +164,27 @@ class TestSnapshotManager:
         store = MultiVersionStore()
         manager = SnapshotManager(store)
         assert manager.next_query_index() == pytest.approx(-0.5)
-        manager.advance(4)
+        for index in range(5):
+            manager.advance(index)
         assert manager.next_query_index() == pytest.approx(4.5)
 
-    def test_advance_is_monotonic(self):
+    def test_frontier_waits_for_gaps_to_fill(self):
+        # Commits of different conflict classes may complete out of
+        # definitive order; the query frontier must not jump a gap, or a
+        # query could miss a smaller-indexed transaction that installs its
+        # versions after the query already read.
         manager = SnapshotManager(MultiVersionStore())
-        manager.advance(5)
-        manager.advance(3)
-        assert manager.last_processed_index == 5
+        manager.advance(0)
+        manager.advance(2)
+        assert manager.last_processed_index == 0
+        manager.advance(1)
+        assert manager.last_processed_index == 2
+
+    def test_replayed_advance_is_idempotent(self):
+        manager = SnapshotManager(MultiVersionStore())
+        for index in (0, 1, 1, 0):
+            manager.advance(index)
+        assert manager.last_processed_index == 1
 
     def test_snapshot_reads_are_stable_despite_later_commits(self):
         store = MultiVersionStore()

@@ -280,6 +280,48 @@ class TestConflictClassMap:
         with pytest.raises(ConflictClassError):
             ConflictClassMap().get("missing")
 
+    def test_key_prefixes_normalised_to_string_tuple(self):
+        mapping = ConflictClassMap()
+        defined = mapping.define("C_accounts", key_prefixes=["acct:", "iban:"])
+        assert defined.key_prefixes == ("acct:", "iban:")
+        assert isinstance(defined.key_prefixes, tuple)
+
+    def test_identical_prefix_in_two_classes_rejected(self):
+        mapping = ConflictClassMap()
+        mapping.define("C_a", key_prefixes=("shared:",))
+        with pytest.raises(ConflictClassError):
+            mapping.define("C_b", key_prefixes=("shared:",))
+
+    def test_prefix_extending_existing_prefix_rejected(self):
+        mapping = ConflictClassMap()
+        mapping.define("C_a", key_prefixes=("acct:",))
+        # "acct:eu:" keys would belong to both classes.
+        with pytest.raises(ConflictClassError):
+            mapping.define("C_b", key_prefixes=("acct:eu:",))
+
+    def test_prefix_shadowing_existing_prefix_rejected(self):
+        mapping = ConflictClassMap()
+        mapping.define("C_a", key_prefixes=("acct:eu:",))
+        # "acct:" swallows every key of C_a's partition.
+        with pytest.raises(ConflictClassError):
+            mapping.define("C_b", key_prefixes=("acct:",))
+
+    def test_rejected_definition_leaves_map_unchanged(self):
+        mapping = ConflictClassMap()
+        mapping.define("C_a", key_prefixes=("a:",))
+        with pytest.raises(ConflictClassError):
+            mapping.define("C_b", key_prefixes=("b:", "a:extended"))
+        assert "C_b" not in mapping
+        assert mapping.class_of_key("b:1") is None
+
+    def test_disjoint_sibling_prefixes_allowed(self):
+        mapping = ConflictClassMap()
+        mapping.define("C1", key_prefixes=("part1:",))
+        # "part10:" is not an extension of "part1:" (the colon disambiguates).
+        mapping.define("C10", key_prefixes=("part10:",))
+        assert mapping.class_of_key("part1:obj0") == "C1"
+        assert mapping.class_of_key("part10:obj0") == "C10"
+
 
 class TestClassQueue:
     def test_append_and_fifo_order(self):

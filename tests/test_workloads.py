@@ -54,6 +54,106 @@ class TestWorkloadSpec:
         assert partition_class_id(3) == "C3"
         assert partition_key(3, 7) == "part3:obj7"
 
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queries_per_site": -1},
+            {"query_interval": -0.001},
+        ],
+    )
+    def test_remaining_negative_values_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(**kwargs)
+
+    def test_boundary_values_accepted(self):
+        # Degenerate-but-valid corners: a single class and object, no load,
+        # zero think time (back-to-back submissions) and zero durations.
+        spec = WorkloadSpec(
+            class_count=1,
+            objects_per_class=1,
+            updates_per_site=0,
+            queries_per_site=0,
+            update_interval=0.0,
+            query_interval=0.0,
+            query_span=1,
+            class_skew=0.0,
+            operations_per_update=1,
+            update_duration=0.0,
+            query_duration=0.0,
+        )
+        assert spec.total_updates(8) == 0
+        assert spec.total_queries(8) == 0
+        assert spec.effective_query_span == 1
+
+    def test_operations_per_update_may_exceed_partition_size(self):
+        # The generator clamps the per-update object count to the partition
+        # size, so a spec asking for more operations than objects is valid.
+        spec = WorkloadSpec(objects_per_class=2, operations_per_update=10)
+        assert spec.operations_per_update == 10
+
+
+class TestZipfClassSkew:
+    def seeded_stream(self, seed=42):
+        from repro.simulation.randomness import RandomSource
+
+        return RandomSource(seed).stream("zipf-test")
+
+    def test_fixed_seed_reproduces_identical_sample_sequence(self):
+        stream_a, stream_b = self.seeded_stream(), self.seeded_stream()
+        sequence_a = [stream_a.zipf_index(8, 1.5) for _ in range(500)]
+        sequence_b = [stream_b.zipf_index(8, 1.5) for _ in range(500)]
+        assert sequence_a == sequence_b
+
+    def test_different_seeds_diverge(self):
+        sequence_a = [self.seeded_stream(1).zipf_index(8, 1.5) for _ in range(50)]
+        sequence_b = [self.seeded_stream(2).zipf_index(8, 1.5) for _ in range(50)]
+        assert sequence_a != sequence_b
+
+    def test_zero_skew_is_uniform_draw(self):
+        stream = self.seeded_stream()
+        draws = [stream.zipf_index(4, 0.0) for _ in range(2000)]
+        counts = {index: draws.count(index) for index in range(4)}
+        assert set(counts) == {0, 1, 2, 3}
+        # Uniform: no class should dominate (loose 2x bound on expectation).
+        assert max(counts.values()) < 2 * (2000 / 4)
+
+    def test_positive_skew_ranks_classes_monotonically(self):
+        stream = self.seeded_stream()
+        draws = [stream.zipf_index(6, 2.0) for _ in range(4000)]
+        counts = [draws.count(index) for index in range(6)]
+        # Zipf with skew 2: class 0 hottest, frequencies non-increasing in
+        # expectation; check the strong head-vs-tail signal, not exact order.
+        assert counts[0] > counts[1] > counts[5]
+        assert counts[0] > 4000 / 2  # head weight 1/(1^2) dominates
+
+    def test_draws_always_in_range(self):
+        stream = self.seeded_stream()
+        for skew in (0.0, 0.5, 3.0):
+            assert all(0 <= stream.zipf_index(3, skew) < 3 for _ in range(200))
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            self.seeded_stream().zipf_index(0, 1.0)
+
+    def test_generator_class_choice_deterministic_under_fixed_seed(self):
+        spec = WorkloadSpec(updates_per_site=40, class_count=6, class_skew=1.5)
+
+        def class_sequence(seed):
+            cluster = ReplicatedDatabase(
+                ClusterConfig(site_count=2, seed=seed, broadcast=BROADCAST_OPTIMISTIC),
+                build_partitioned_registry(spec),
+                initial_data=build_initial_data(spec),
+            )
+            plan = WorkloadGenerator(spec).apply(cluster)
+            return [
+                operation.parameters["class_index"]
+                for operation in plan.operations
+                if not operation.is_query
+            ]
+
+        assert class_sequence(7) == class_sequence(7)
+        assert class_sequence(7) != class_sequence(8)
+
 
 class TestGeneratedProcedures:
     def test_initial_data_covers_all_partitions(self):
