@@ -1,0 +1,74 @@
+"""Shard-aware fault injection: reproducible chaos schedules + orchestration.
+
+The paper's system model (Section 2) admits crash failures with recovery
+over reliable channels; this subsystem turns the repo's failure primitives
+(:mod:`repro.failure.crash`, :mod:`repro.network.partitions`, the
+transport's latency model) into a reusable chaos harness:
+
+* :class:`FaultPlan` — a builder composing crash/recovery, partition/heal
+  and latency-spike events into one reproducible, seed-driven schedule.
+  Targets can be literal sites, whole shards, or *roles* resolved at fire
+  time (``coordinator("S2")`` hits whichever site holds the role then).
+* :class:`ChaosOrchestrator` — binds a plan to a
+  :class:`~repro.core.cluster.ReplicatedDatabase` or a
+  :class:`~repro.sharding.cluster.ShardedCluster`, schedules the events on
+  the simulation kernel, and records every injected fault in a trace whose
+  signature is deterministic per seed.
+* :mod:`repro.chaos.scenarios` — a library of verified scenarios
+  (sequencer failover under load, rolling per-shard crashes, whole-shard
+  outage + recovery, partition during optimistic delivery, latency spike),
+  each ending with per-shard 1SR, cross-shard query snapshot consistency
+  and eventual-termination liveness checks.
+"""
+
+from .orchestrator import (
+    ChaosOrchestrator,
+    InjectedFault,
+    SpikedLatency,
+    trace_signature,
+)
+from .plan import (
+    FaultEvent,
+    FaultPlan,
+    FaultTarget,
+    coordinator,
+    random_site,
+    shard,
+    site,
+)
+from .scenarios import (
+    SCENARIOS,
+    ChaosRunResult,
+    build_chaos_cluster,
+    execute_chaos_run,
+    latency_spike_under_load,
+    partition_during_optimistic_delivery,
+    rolling_shard_crashes,
+    run_chaos_scenario,
+    sequencer_failover_under_load,
+    whole_shard_outage,
+)
+
+__all__ = [
+    "ChaosOrchestrator",
+    "InjectedFault",
+    "SpikedLatency",
+    "trace_signature",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultTarget",
+    "coordinator",
+    "random_site",
+    "shard",
+    "site",
+    "SCENARIOS",
+    "ChaosRunResult",
+    "build_chaos_cluster",
+    "execute_chaos_run",
+    "run_chaos_scenario",
+    "sequencer_failover_under_load",
+    "rolling_shard_crashes",
+    "whole_shard_outage",
+    "partition_during_optimistic_delivery",
+    "latency_spike_under_load",
+]

@@ -1,0 +1,264 @@
+"""Fault plans: reproducible, composable chaos schedules.
+
+A :class:`FaultPlan` is a declarative list of fault events — crashes and
+recoveries, network partitions and heals, latency spikes — each targeting
+sites, whole shards, or *roles* ("the current sequencer of shard S2").  The
+plan itself is pure data: nothing happens until a
+:class:`~repro.chaos.orchestrator.ChaosOrchestrator` binds it to a cluster,
+schedules the events on the cluster's simulation kernel and resolves the
+targets at fire time.  Because the kernel is deterministic and every random
+choice (e.g. :func:`random_site`) is drawn from a named seeded stream, the
+same plan applied to the same cluster seed always injects the same faults at
+the same virtual times — the property the chaos test harness asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple, Union
+
+from ..errors import ChaosError
+from ..types import ShardId, SiteId
+
+#: Fault actions understood by the orchestrator.
+ACTION_CRASH = "crash"
+ACTION_RECOVER = "recover"
+ACTION_PARTITION = "partition"
+ACTION_HEAL = "heal"
+ACTION_SLOW = "slow"
+ACTION_RESTORE = "restore"
+
+#: Target kinds (how the orchestrator resolves a target to concrete sites).
+TARGET_SITE = "site"
+TARGET_SHARD = "shard"
+TARGET_COORDINATOR = "coordinator"
+TARGET_RANDOM_SITE = "random-site"
+
+
+@dataclass(frozen=True)
+class FaultTarget:
+    """What a fault event applies to, resolved to concrete sites at fire time.
+
+    Attributes
+    ----------
+    kind:
+        ``"site"`` (a literal site id), ``"shard"`` (every site of a shard),
+        ``"coordinator"`` (the site *currently* acting as
+        sequencer/coordinator — of the whole cluster, or of ``shard`` in a
+        sharded deployment) or ``"random-site"`` (one site drawn from the
+        orchestrator's seeded random stream, optionally restricted to
+        ``shard``).
+    """
+
+    kind: str
+    site: Optional[SiteId] = None
+    shard: Optional[ShardId] = None
+
+    def describe(self) -> str:
+        """Human-readable form used in fault traces."""
+        if self.kind == TARGET_SITE:
+            return f"site({self.site})"
+        if self.kind == TARGET_SHARD:
+            return f"shard({self.shard})"
+        if self.kind == TARGET_COORDINATOR:
+            return f"coordinator({self.shard})" if self.shard else "coordinator()"
+        if self.kind == TARGET_RANDOM_SITE:
+            return f"random_site({self.shard})" if self.shard else "random_site()"
+        return f"target({self.kind})"
+
+
+def site(site_id: SiteId) -> FaultTarget:
+    """Target one specific site."""
+    return FaultTarget(kind=TARGET_SITE, site=site_id)
+
+
+def shard(shard_id: ShardId) -> FaultTarget:
+    """Target every site of one shard (requires a sharded cluster)."""
+    return FaultTarget(kind=TARGET_SHARD, shard=shard_id)
+
+
+def coordinator(shard_id: Optional[ShardId] = None) -> FaultTarget:
+    """Target the site currently acting as sequencer/coordinator.
+
+    The role is resolved when the fault fires, so "crash the coordinator of
+    shard S2 at t=0.05" hits whichever site holds the role at that moment,
+    even after earlier failovers.
+    """
+    return FaultTarget(kind=TARGET_COORDINATOR, shard=shard_id)
+
+
+def random_site(shard_id: Optional[ShardId] = None) -> FaultTarget:
+    """Target one site drawn from the orchestrator's seeded random stream."""
+    return FaultTarget(kind=TARGET_RANDOM_SITE, shard=shard_id)
+
+
+TargetLike = Union[FaultTarget, SiteId]
+
+
+def _coerce_target(target: TargetLike) -> FaultTarget:
+    if isinstance(target, FaultTarget):
+        return target
+    if isinstance(target, str):
+        return site(target)
+    raise ChaosError(f"cannot interpret {target!r} as a fault target")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``duration`` > 0 makes the fault self-reverting: the orchestrator
+    resolves the targets once when the fault fires and schedules the inverse
+    action (recover / heal / restore) ``duration`` seconds later *for those
+    exact sites*.  This is what makes ``crash(coordinator(), duration=...)``
+    recover the old coordinator rather than re-resolving the role after the
+    failover already promoted someone else.
+    """
+
+    time: float
+    action: str
+    targets: Tuple[FaultTarget, ...]
+    duration: float = 0.0
+    extra_delay: float = 0.0
+    sequence: int = 0
+
+
+class FaultPlan:
+    """Builder composing fault events into one reproducible schedule."""
+
+    def __init__(self, name: str = "chaos") -> None:
+        self.name = name
+        self._events: List[FaultEvent] = []
+
+    # -------------------------------------------------------------- building
+    def _add(
+        self,
+        time: float,
+        action: str,
+        targets: Tuple[FaultTarget, ...],
+        *,
+        duration: float = 0.0,
+        extra_delay: float = 0.0,
+    ) -> "FaultPlan":
+        if time < 0.0:
+            raise ChaosError(f"cannot schedule a fault at negative time {time!r}")
+        self._events.append(
+            FaultEvent(
+                time=time,
+                action=action,
+                targets=targets,
+                duration=duration,
+                extra_delay=extra_delay,
+                sequence=len(self._events),
+            )
+        )
+        return self
+
+    def crash(
+        self, target: TargetLike, *, at: float, duration: Optional[float] = None
+    ) -> "FaultPlan":
+        """Crash the target at ``at``; with ``duration``, recover it later.
+
+        The recovery applies to the sites resolved at crash time (important
+        for role targets — see :class:`FaultEvent`).
+        """
+        if duration is not None and duration <= 0.0:
+            raise ChaosError("crash duration must be positive")
+        return self._add(
+            at, ACTION_CRASH, (_coerce_target(target),), duration=duration or 0.0
+        )
+
+    def recover(self, target: TargetLike, *, at: float) -> "FaultPlan":
+        """Recover the target at ``at`` (for unpaired crashes).
+
+        Role targets are rejected: ``coordinator()``/``random_site()``
+        re-resolve at fire time to a *live* site, so the crashed site could
+        never be the one recovered (recovery of an up site is a no-op).  To
+        revert a role crash on the exact sites it hit, use
+        ``crash(target, at=..., duration=...)``.
+        """
+        coerced = _coerce_target(target)
+        if coerced.kind in (TARGET_COORDINATOR, TARGET_RANDOM_SITE):
+            raise ChaosError(
+                f"recover() cannot take a {coerced.kind} target: the role "
+                "resolves to a live site at fire time, never the crashed one; "
+                "use crash(..., duration=...) to revert the same sites"
+            )
+        return self._add(at, ACTION_RECOVER, (coerced,))
+
+    def partition(
+        self,
+        targets: Iterable[TargetLike],
+        *,
+        at: float,
+        duration: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Split the targets' sites into their own partition group at ``at``.
+
+        With ``duration`` the same sites rejoin the main group ``duration``
+        seconds later.
+        """
+        coerced = tuple(_coerce_target(target) for target in targets)
+        if not coerced:
+            raise ChaosError("a partition needs at least one target")
+        if duration is not None and duration <= 0.0:
+            raise ChaosError("partition duration must be positive")
+        return self._add(at, ACTION_PARTITION, coerced, duration=duration or 0.0)
+
+    def heal(
+        self, *, at: float, targets: Optional[Iterable[TargetLike]] = None
+    ) -> "FaultPlan":
+        """Heal partitions at ``at`` (all of them, or only the targets').
+
+        ``targets=None`` heals everything; an explicitly *empty* target list
+        is rejected so that a computed site list that happens to be empty
+        cannot silently wipe every active partition.
+        """
+        if targets is None:
+            return self._add(at, ACTION_HEAL, ())
+        coerced = tuple(_coerce_target(target) for target in targets)
+        if not coerced:
+            raise ChaosError(
+                "heal() got an empty target list; pass targets=None to heal "
+                "all partitions"
+            )
+        return self._add(at, ACTION_HEAL, coerced)
+
+    def latency_spike(
+        self, extra_delay: float, *, at: float, duration: float
+    ) -> "FaultPlan":
+        """Add ``extra_delay`` seconds to every message for a time window.
+
+        Models a transient network slowdown (overloaded switch, GC pause on
+        the wire): the transport's latency model is wrapped during the window
+        and restored afterwards.
+        """
+        if extra_delay <= 0.0:
+            raise ChaosError("a latency spike needs a positive extra delay")
+        if duration <= 0.0:
+            raise ChaosError("latency spike duration must be positive")
+        return self._add(
+            at, ACTION_SLOW, (), duration=duration, extra_delay=extra_delay
+        )
+
+    # ------------------------------------------------------------ inspection
+    def events(self) -> List[FaultEvent]:
+        """Return the plan's events ordered by (time, insertion order)."""
+        return sorted(self._events, key=lambda event: (event.time, event.sequence))
+
+    def faults_cease_at(self) -> float:
+        """Virtual time after which the plan injects nothing further.
+
+        Liveness assertions ("every submitted transaction eventually
+        terminates") are meaningful only past this point.
+        """
+        latest = 0.0
+        for event in self._events:
+            latest = max(latest, event.time + event.duration)
+        return latest
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(name={self.name!r}, events={len(self._events)})"

@@ -1,0 +1,283 @@
+"""Chaos scenario library: canned fault schedules with full verification.
+
+Each scenario builds a sharded cluster, applies the standard sharded
+workload, arms a :class:`FaultPlan` against it and runs to completion; the
+run then passes through *all* correctness checks — per-shard
+1-copy-serializability, cross-shard query snapshot consistency, and the
+eventual-termination liveness check — and returns a
+:class:`ChaosRunResult` carrying the injected-fault trace.  The scenarios
+mirror the failure modes the paper's system model admits (Section 2: crash
+failures with recovery, reliable channels):
+
+* :func:`sequencer_failover_under_load` — the site establishing a shard's
+  definitive order crashes mid-load and later recovers.
+* :func:`rolling_shard_crashes` — one (seed-chosen) site per shard crashes
+  in a staggered rolling window.
+* :func:`whole_shard_outage` — every site of one shard goes down at once
+  and recovers together.
+* :func:`partition_during_optimistic_delivery` — a follower is partitioned
+  away while messages are being opt-delivered, then rejoins.
+* :func:`latency_spike_under_load` — the network slows down sharply for a
+  window, stretching the gap between tentative and definitive delivery.
+
+Every scenario is a pure function of its seed: two runs with the same seed
+produce identical fault traces and identical commit outcomes (asserted by
+``tests/test_chaos_scenarios.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from ..core.config import ShardingConfig
+from ..errors import ChaosError, VerificationError
+from ..sharding.cluster import ShardedCluster
+from ..types import SiteId
+from ..verification.liveness import check_sharded_eventual_termination
+from ..verification.sharded import (
+    check_cross_shard_query_consistency,
+    check_sharded_one_copy_serializability,
+)
+from ..workloads.procedures import (
+    build_conflict_map,
+    build_initial_data,
+    build_partitioned_registry,
+)
+from ..workloads.sharded import (
+    ShardedWorkloadGenerator,
+    ShardedWorkloadSpec,
+    build_shard_map,
+)
+from .orchestrator import ChaosOrchestrator, InjectedFault, trace_signature
+from .plan import FaultPlan, coordinator, random_site, shard, site
+
+
+@dataclass
+class ChaosRunResult:
+    """Outcome of one chaos run: fault trace + verification verdicts."""
+
+    scenario: str
+    seed: int
+    submitted_updates: int
+    committed: int
+    faults_injected: int
+    trace: Tuple[InjectedFault, ...]
+    one_copy_ok: bool
+    queries_consistent: bool
+    liveness_ok: bool
+    violations: List[str] = field(default_factory=list)
+    faults_cease_at: float = 0.0
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every verification layer passed."""
+        return self.one_copy_ok and self.queries_consistent and self.liveness_ok
+
+    def raise_if_violated(self) -> None:
+        """Raise :class:`VerificationError` when any check failed."""
+        if not self.ok:
+            raise VerificationError(
+                f"chaos scenario {self.scenario!r} (seed {self.seed}) failed: "
+                + "; ".join(self.violations)
+            )
+
+    def trace_signature(self) -> Tuple[Tuple[float, str, Tuple[SiteId, ...]], ...]:
+        """Comparable fingerprint of the injected faults (see determinism test)."""
+        return trace_signature(self.trace)
+
+
+# ---------------------------------------------------------------------------
+# Shared machinery
+# ---------------------------------------------------------------------------
+
+#: Default sizing: small enough to run every scenario in SCENARIOS across
+#: the full seed sweep of tests/test_chaos_scenarios.py in a few seconds,
+#: busy enough that faults land while transactions are in flight.
+DEFAULT_SHARD_COUNT = 2
+DEFAULT_SITES_PER_SHARD = 3
+DEFAULT_UPDATES_PER_SHARD = 24
+DEFAULT_QUERIES = 6
+
+
+def build_chaos_cluster(
+    seed: int,
+    *,
+    shard_count: int = DEFAULT_SHARD_COUNT,
+    sites_per_shard: int = DEFAULT_SITES_PER_SHARD,
+    updates_per_shard: int = DEFAULT_UPDATES_PER_SHARD,
+    queries: int = DEFAULT_QUERIES,
+) -> Tuple[ShardedCluster, ShardedWorkloadSpec]:
+    """Build the standard cluster + workload spec used by the scenarios.
+
+    ``echo_on_first_receipt`` is always enabled: with crashes injected
+    mid-multicast, the reliable broadcast must echo messages for them to
+    survive the failure of their origin (the paper's reliable-channel
+    assumption is about *correct* sites).
+    """
+    spec = ShardedWorkloadSpec(
+        shard_count=shard_count,
+        classes_per_shard=2,
+        updates_per_shard=updates_per_shard,
+        update_interval=0.004,
+        queries=queries,
+        query_span=3,
+        update_duration=0.001,
+    )
+    base_spec = spec.base_spec()
+    config = ShardingConfig(
+        shard_count=shard_count,
+        sites_per_shard=sites_per_shard,
+        seed=seed,
+        echo_on_first_receipt=True,
+    )
+    cluster = ShardedCluster(
+        config,
+        build_partitioned_registry(base_spec),
+        conflict_map=build_conflict_map(base_spec),
+        shard_map=build_shard_map(spec, config.shard_ids()),
+        initial_data=build_initial_data(base_spec),
+    )
+    return cluster, spec
+
+
+def execute_chaos_run(
+    cluster: ShardedCluster,
+    spec: ShardedWorkloadSpec,
+    plan: FaultPlan,
+    *,
+    scenario: str,
+    seed: int,
+) -> ChaosRunResult:
+    """Apply workload + plan to ``cluster``, run to idle, verify everything."""
+    generator = ShardedWorkloadGenerator(spec)
+    generator.apply(cluster)
+    orchestrator = ChaosOrchestrator(cluster, plan).arm()
+    cluster.run_until_idle()
+    cluster.check_scheduler_invariants()
+
+    one_copy = check_sharded_one_copy_serializability(cluster)
+    queries = check_cross_shard_query_consistency(cluster)
+    liveness = check_sharded_eventual_termination(cluster)
+    return ChaosRunResult(
+        scenario=scenario,
+        seed=seed,
+        submitted_updates=spec.total_updates(),
+        committed=cluster.total_committed(),
+        faults_injected=orchestrator.faults_injected(),
+        trace=tuple(orchestrator.trace),
+        one_copy_ok=one_copy.ok,
+        queries_consistent=queries.ok,
+        liveness_ok=liveness.ok,
+        violations=one_copy.violations + queries.violations + liveness.violations,
+        faults_cease_at=plan.faults_cease_at(),
+        duration=cluster.now,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+def sequencer_failover_under_load(seed: int = 1, **sizing) -> ChaosRunResult:
+    """Crash the current sequencer of the first shard mid-load; it recovers.
+
+    The crash target is the *role*: whichever site holds the coordinator
+    role of shard S1 when the fault fires goes down, the shard promotes the
+    lowest-id survivor, in-flight messages still get ordered, and the old
+    coordinator recovers later, catches up, and does not reclaim the role.
+    """
+    cluster, spec = build_chaos_cluster(seed, **sizing)
+    first_shard = cluster.shard_ids()[0]
+    plan = (
+        FaultPlan("sequencer-failover")
+        .crash(coordinator(first_shard), at=0.030, duration=0.080)
+    )
+    return execute_chaos_run(
+        cluster, spec, plan, scenario="sequencer_failover_under_load", seed=seed
+    )
+
+
+def rolling_shard_crashes(seed: int = 1, **sizing) -> ChaosRunResult:
+    """Crash one seed-chosen site per shard in staggered rolling windows.
+
+    Which site goes down in each shard is drawn from the cluster's seeded
+    ``chaos.targets`` stream, so the rolling schedule itself varies with the
+    seed while remaining fully reproducible.  A drawn site may well be a
+    shard's coordinator — then this scenario also exercises failover.
+    """
+    cluster, spec = build_chaos_cluster(seed, **sizing)
+    plan = FaultPlan("rolling-crashes")
+    for index, shard_id in enumerate(cluster.shard_ids()):
+        plan.crash(random_site(shard_id), at=0.020 + 0.025 * index, duration=0.040)
+    return execute_chaos_run(
+        cluster, spec, plan, scenario="rolling_shard_crashes", seed=seed
+    )
+
+
+def whole_shard_outage(seed: int = 1, **sizing) -> ChaosRunResult:
+    """Take every site of the last shard down at once; they recover together.
+
+    During the outage the rest of the system keeps committing; updates routed
+    to the dark shard are buffered by the reliable transport and commit after
+    recovery, so the run still terminates with full convergence.
+    """
+    cluster, spec = build_chaos_cluster(seed, **sizing)
+    last_shard = cluster.shard_ids()[-1]
+    plan = FaultPlan("shard-outage").crash(shard(last_shard), at=0.030, duration=0.060)
+    return execute_chaos_run(cluster, spec, plan, scenario="whole_shard_outage", seed=seed)
+
+
+def partition_during_optimistic_delivery(seed: int = 1, **sizing) -> ChaosRunResult:
+    """Partition a follower away while messages are being opt-delivered.
+
+    The isolated site keeps opt-delivering its own submissions but sees no
+    definitive confirmations until the partition heals; held envelopes are
+    flushed on heal and the site converges with its group.
+    """
+    cluster, spec = build_chaos_cluster(seed, **sizing)
+    first_shard = cluster.shard_ids()[0]
+    follower = cluster.shard(first_shard).site_ids()[-1]
+    plan = FaultPlan("opt-delivery-partition").partition(
+        [site(follower)], at=0.015, duration=0.050
+    )
+    return execute_chaos_run(
+        cluster, spec, plan, scenario="partition_during_optimistic_delivery", seed=seed
+    )
+
+
+def latency_spike_under_load(seed: int = 1, **sizing) -> ChaosRunResult:
+    """Inflate every message delay by 5 ms for a window in mid-load.
+
+    A spike stretches the gap between tentative and definitive delivery —
+    more reordering risk, never a correctness violation (paper Section 2.1's
+    trade-off under degraded spontaneous order).
+    """
+    cluster, spec = build_chaos_cluster(seed, **sizing)
+    plan = FaultPlan("latency-spike").latency_spike(0.005, at=0.020, duration=0.040)
+    return execute_chaos_run(
+        cluster, spec, plan, scenario="latency_spike_under_load", seed=seed
+    )
+
+
+#: Name → scenario function; the chaos experiment and tests iterate this.
+SCENARIOS: Dict[str, Callable[..., ChaosRunResult]] = {
+    "sequencer_failover_under_load": sequencer_failover_under_load,
+    "rolling_shard_crashes": rolling_shard_crashes,
+    "whole_shard_outage": whole_shard_outage,
+    "partition_during_optimistic_delivery": partition_during_optimistic_delivery,
+    "latency_spike_under_load": latency_spike_under_load,
+}
+
+
+def run_chaos_scenario(name: str, seed: int = 1, **sizing) -> ChaosRunResult:
+    """Run one scenario from :data:`SCENARIOS` by name."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise ChaosError(
+            f"unknown chaos scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    return scenario(seed=seed, **sizing)

@@ -79,6 +79,10 @@ class WorkloadError(ReproError):
     """Raised for invalid workload specifications."""
 
 
+class ChaosError(ReproError):
+    """Raised by the fault-injection subsystem (plans, orchestrators)."""
+
+
 class VerificationError(ReproError):
     """Raised when a correctness property is found to be violated."""
 

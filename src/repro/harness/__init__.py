@@ -3,6 +3,7 @@
 from .experiments import (
     RunSummary,
     ShardedRunSummary,
+    chaos_resilience_experiment,
     conflict_experiment,
     figure1_spontaneous_order,
     lazy_comparison_experiment,
@@ -28,6 +29,7 @@ __all__ = [
     "ShardedRunSummary",
     "run_sharded_workload",
     "sharded_scalability_experiment",
+    "chaos_resilience_experiment",
     "conflict_experiment",
     "figure1_spontaneous_order",
     "lazy_comparison_experiment",

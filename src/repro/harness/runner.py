@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from .experiments import (
+    chaos_resilience_experiment,
     conflict_experiment,
     figure1_spontaneous_order,
     lazy_comparison_experiment,
@@ -31,6 +32,7 @@ FAST_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "lazy": lambda: lazy_comparison_experiment(updates_per_site=30),
     "queries": lambda: query_experiment(queries_per_site_values=(0, 20), updates_per_site=20),
     "scalability": lambda: scalability_experiment(site_counts=(2, 4, 6), updates_per_site=20),
+    "chaos": lambda: chaos_resilience_experiment(seeds=(1, 2)),
 }
 
 #: Full-size experiment runners (used when regenerating EXPERIMENTS.md).
@@ -42,6 +44,7 @@ FULL_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "lazy": lazy_comparison_experiment,
     "queries": query_experiment,
     "scalability": scalability_experiment,
+    "chaos": chaos_resilience_experiment,
 }
 
 

@@ -32,18 +32,27 @@ class PartitionController:
             return True
         return self._group_of.get(site_a) == self._group_of.get(site_b)
 
-    def is_partitioned(self) -> bool:
-        """Return whether any partition is currently in effect."""
-        return len(set(self._group_of.values())) > 1 or (
-            bool(self._group_of) and None not in set(self._group_of.values())
-            and len(set(self._group_of.values())) >= 1 and self._has_unlisted_sites()
-        )
+    def is_partitioned(self, all_sites: Optional[Iterable[SiteId]] = None) -> bool:
+        """Return whether any partition is currently in effect.
 
-    def _has_unlisted_sites(self) -> bool:
-        # Conservative: the controller cannot know the full site set, so a
-        # single explicit group still counts as a partition (it is separated
-        # from the implicit fully-connected group).
-        return True
+        Sites never mentioned in an ``isolate`` call share the implicit
+        fully-connected group; a partition exists exactly when two sites are
+        in different groups.  With no explicit group there is no partition;
+        with two or more explicit groups there always is one.  A *single*
+        explicit group is separated from the implicit group only if some
+        site lives outside it — the controller does not know the full site
+        set, so without ``all_sites`` it conservatively reports a partition,
+        and with ``all_sites`` (e.g. ``transport.sites()``) it answers
+        exactly.
+        """
+        groups = set(self._group_of.values())
+        if not groups:
+            return False
+        if len(groups) > 1:
+            return True
+        if all_sites is None:
+            return True
+        return any(site not in self._group_of for site in all_sites)
 
     # ------------------------------------------------------------ operations
     def isolate(self, sites: Iterable[SiteId], at_time: float = 0.0) -> None:

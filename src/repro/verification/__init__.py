@@ -1,5 +1,10 @@
-"""Correctness verification: 1-copy-serializability and broadcast properties."""
+"""Correctness verification: 1-copy-serializability, broadcast properties, liveness."""
 
+from .liveness import (
+    LivenessReport,
+    check_eventual_termination,
+    check_sharded_eventual_termination,
+)
 from .onecopy import (
     OneCopyReport,
     check_one_copy_serializability,
@@ -15,6 +20,9 @@ from .sharded import (
 )
 
 __all__ = [
+    "LivenessReport",
+    "check_eventual_termination",
+    "check_sharded_eventual_termination",
     "OneCopyReport",
     "check_one_copy_serializability",
     "histories_conflict_equivalent",

@@ -1,0 +1,83 @@
+"""Deterministic chaos harness: every fault scenario must preserve correctness.
+
+Each test run injects a fault schedule (crashes, failovers, whole-shard
+outages, partitions, latency spikes) into a sharded cluster under load and
+then verifies the full property stack:
+
+* per-shard 1-copy-serializability (including the five broadcast properties
+  of every shard's group),
+* cross-shard query snapshot consistency,
+* eventual termination — every submitted transaction commits at its origin,
+  every replica group converges, every query completes once faults cease.
+
+The runs are deterministic: the same seed must reproduce the same
+injected-fault trace and the same commit outcome, so any failure here is a
+repro, not a flake.  The module is marker-gated (``pytest -m chaos``) so CI
+can run the chaos suite as its own job.
+"""
+
+import pytest
+
+from repro.chaos import SCENARIOS, run_chaos_scenario
+
+pytestmark = pytest.mark.chaos
+
+#: Seed sweep: every scenario must hold across all of them.
+SEEDS = (1, 2, 3, 4, 5)
+
+SCENARIO_NAMES = sorted(SCENARIOS)
+
+
+def test_scenario_library_covers_the_required_fault_modes():
+    assert len(SCENARIO_NAMES) >= 4
+    assert "sequencer_failover_under_load" in SCENARIOS
+    assert "rolling_shard_crashes" in SCENARIOS
+    assert "whole_shard_outage" in SCENARIOS
+    assert "partition_during_optimistic_delivery" in SCENARIOS
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scenario", SCENARIO_NAMES)
+def test_scenario_preserves_all_properties(scenario, seed):
+    result = run_chaos_scenario(scenario, seed=seed)
+    result.raise_if_violated()
+    assert result.one_copy_ok
+    assert result.queries_consistent
+    assert result.liveness_ok
+    # Faults actually fired (and were reverted), and none of them cost a
+    # single transaction.
+    assert result.faults_injected >= 1
+    assert len(result.trace) > result.faults_injected  # reverts traced too
+    assert result.committed == result.submitted_updates
+    # The run only terminated after the plan stopped injecting faults.
+    assert result.duration > result.faults_cease_at
+
+
+@pytest.mark.parametrize("scenario", SCENARIO_NAMES)
+def test_same_seed_reproduces_the_same_fault_trace(scenario):
+    first = run_chaos_scenario(scenario, seed=3)
+    second = run_chaos_scenario(scenario, seed=3)
+    assert first.trace_signature() == second.trace_signature()
+    assert first.committed == second.committed
+    assert first.duration == second.duration
+
+
+def test_rolling_crash_targets_follow_the_seed():
+    # The rolling scenario draws its victims from the seeded chaos stream;
+    # the sweep must hit more than one distinct victim set across seeds
+    # (otherwise the "random" target would be a constant).
+    victim_sets = set()
+    for seed in SEEDS:
+        result = run_chaos_scenario("rolling_shard_crashes", seed=seed)
+        victims = tuple(
+            fault.sites for fault in result.trace if fault.action == "crash"
+        )
+        victim_sets.add(victims)
+    assert len(victim_sets) > 1
+
+
+def test_unknown_scenario_name_rejected():
+    from repro.errors import ChaosError
+
+    with pytest.raises(ChaosError):
+        run_chaos_scenario("does-not-exist")

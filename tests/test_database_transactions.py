@@ -419,3 +419,71 @@ class TestClassQueue:
         queue.remove(t1)
         assert queue.total_appended == 1
         assert queue.total_committed == 1
+
+
+class TestSnapshotFrontierRegression:
+    """Out-of-order commits across conflict classes must never expose a
+    non-consecutive committed prefix to queries (regression for the
+    consecutive-commit-frontier fix in :class:`SnapshotManager`)."""
+
+    def build_store(self):
+        store = MultiVersionStore()
+        store.load_many({"a:0": 0, "b:0": 0})
+        return store
+
+    def test_frontier_waits_for_gap_to_fill(self):
+        from repro.database.snapshots import SnapshotManager
+
+        store = self.build_store()
+        manager = SnapshotManager(store)
+        # Transaction 1 (class b) finishes before transaction 0 (class a):
+        # commits of different classes may complete out of definitive order.
+        store.install("b:0", 11, created_index=1, created_by="T1")
+        manager.advance(1)
+        assert manager.last_processed_index == MultiVersionStore.INITIAL_INDEX
+        assert manager.next_query_index() == MultiVersionStore.INITIAL_INDEX + 0.5
+        # A query taken now must not see T1's write: index 1 is not part of
+        # any gap-free committed prefix yet.
+        snapshot = manager.snapshot()
+        assert snapshot.read("b:0") == 0
+        # Once the gap fills, the frontier jumps over both commits at once.
+        store.install("a:0", 7, created_index=0, created_by="T0")
+        manager.advance(0)
+        assert manager.last_processed_index == 1
+        snapshot = manager.snapshot()
+        assert snapshot.read("a:0") == 7
+        assert snapshot.read("b:0") == 11
+
+    def test_frontier_never_exposes_non_consecutive_prefix(self):
+        from repro.database.snapshots import SnapshotManager
+
+        store = self.build_store()
+        manager = SnapshotManager(store)
+        # Commit definitive indices in a scrambled order; after each step the
+        # frontier must equal the length of the gap-free prefix committed so
+        # far, never the maximum committed index.
+        scrambled = [2, 0, 4, 1, 3]
+        committed = set()
+        for index in scrambled:
+            # Each class commits in order on its own keys; the scramble is
+            # across classes, so drive the frontier directly.
+            manager.advance(index)
+            committed.add(index)
+            frontier = manager.last_processed_index
+            expected = -1
+            while expected + 1 in committed:
+                expected += 1
+            assert frontier == expected
+            # Every index in the exposed prefix has committed.
+            assert all(i in committed for i in range(frontier + 1))
+
+    def test_replaying_an_old_index_is_idempotent(self):
+        from repro.database.snapshots import SnapshotManager
+
+        store = self.build_store()
+        manager = SnapshotManager(store)
+        store.install("a:0", 1, created_index=0, created_by="T0")
+        manager.advance(0)
+        assert manager.last_processed_index == 0
+        manager.advance(0)  # recovery replay
+        assert manager.last_processed_index == 0

@@ -69,6 +69,74 @@ class TestCrashManager:
         manager.crash_now("N3")
         assert manager.up_sites() == ["N1", "N2"]
 
+    def test_crash_of_already_down_site_is_a_noop(self):
+        kernel, transport, _ = build_cluster()
+        manager = CrashManager(kernel, transport)
+        changes = []
+        manager.add_listener(lambda site, up: changes.append((site, up)))
+        manager.crash_now("N2")
+        manager.crash_now("N2")  # second crash must not fire or count
+        assert changes == [("N2", False)]
+        assert manager.crash_count("N2") == 1
+        assert not transport.is_site_up("N2")
+
+    def test_recovery_without_prior_crash_is_a_noop(self):
+        kernel, transport, _ = build_cluster()
+        manager = CrashManager(kernel, transport)
+        changes = []
+        manager.add_listener(lambda site, up: changes.append((site, up)))
+        manager.recover_now("N1")  # sites default to up
+        assert changes == []
+        assert manager.crash_count("N1") == 0
+        assert manager.is_up("N1")
+
+    def test_scheduled_redundant_events_collapse(self):
+        # A schedule that crashes the same site twice and recovers it twice
+        # produces exactly one crash and one recovery notification.
+        kernel, transport, _ = build_cluster()
+        manager = CrashManager(kernel, transport)
+        changes = []
+        manager.add_listener(lambda site, up: changes.append((site, up)))
+        schedule = (
+            CrashSchedule()
+            .crash("N1", at=0.010)
+            .crash("N1", at=0.020)
+            .recover("N1", at=0.030)
+            .recover("N1", at=0.040)
+        )
+        manager.apply_schedule(schedule)
+        kernel.run_until_idle()
+        assert changes == [("N1", False), ("N1", True)]
+        assert manager.crash_count("N1") == 1
+
+    def test_listeners_notified_in_registration_order(self):
+        kernel, transport, _ = build_cluster()
+        manager = CrashManager(kernel, transport)
+        order = []
+        manager.add_listener(lambda site, up: order.append(("first", site, up)))
+        manager.add_listener(lambda site, up: order.append(("second", site, up)))
+        manager.crash_now("N1")
+        manager.recover_now("N1")
+        assert order == [
+            ("first", "N1", False),
+            ("second", "N1", False),
+            ("first", "N1", True),
+            ("second", "N1", True),
+        ]
+
+    def test_same_time_events_apply_in_site_order(self):
+        # sorted_events breaks time ties by site id, so a deterministic
+        # schedule results even when several sites crash at the same instant.
+        kernel, transport, _ = build_cluster()
+        manager = CrashManager(kernel, transport)
+        changes = []
+        manager.add_listener(lambda site, up: changes.append(site))
+        schedule = CrashSchedule().crash("N3", at=0.010).crash("N1", at=0.010)
+        assert [event.site for event in schedule.sorted_events()] == ["N1", "N3"]
+        manager.apply_schedule(schedule)
+        kernel.run_until_idle()
+        assert changes == ["N1", "N3"]
+
 
 class TestFailureDetector:
     def build_detectors(self, site_count=3, **kwargs):

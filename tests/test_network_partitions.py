@@ -1,0 +1,94 @@
+"""Unit tests for the partition controller (group bookkeeping + predicates)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.partitions import PartitionController
+
+
+class TestConnected:
+    def test_fully_connected_by_default(self):
+        controller = PartitionController()
+        assert controller.connected("N1", "N2")
+
+    def test_site_always_connected_to_itself(self):
+        controller = PartitionController()
+        controller.isolate(["N1"])
+        assert controller.connected("N1", "N1")
+
+    def test_isolated_group_talks_internally_only(self):
+        controller = PartitionController()
+        controller.isolate(["N1", "N2"])
+        assert controller.connected("N1", "N2")
+        assert not controller.connected("N1", "N3")
+        assert not controller.connected("N2", "N4")
+
+    def test_implicit_none_group_sites_stay_connected(self):
+        # Sites never mentioned in any isolate() share the implicit group.
+        controller = PartitionController()
+        controller.isolate(["N1"])
+        assert controller.group_of("N3") is None
+        assert controller.group_of("N4") is None
+        assert controller.connected("N3", "N4")
+
+    def test_empty_group_rejected(self):
+        controller = PartitionController()
+        with pytest.raises(NetworkError):
+            controller.isolate([])
+
+
+class TestIsPartitioned:
+    def test_empty_controller_is_not_partitioned(self):
+        controller = PartitionController()
+        assert not controller.is_partitioned()
+        assert not controller.is_partitioned(all_sites=["N1", "N2"])
+
+    def test_two_explicit_groups_are_partitioned(self):
+        controller = PartitionController()
+        controller.isolate(["N1"])
+        controller.isolate(["N2"])
+        assert controller.is_partitioned()
+        assert controller.is_partitioned(all_sites=["N1", "N2"])
+
+    def test_single_group_is_conservative_without_site_universe(self):
+        controller = PartitionController()
+        controller.isolate(["N1", "N2"])
+        # The controller cannot know whether sites outside the group exist.
+        assert controller.is_partitioned()
+
+    def test_single_group_with_outside_site_is_partitioned(self):
+        controller = PartitionController()
+        controller.isolate(["N1", "N2"])
+        assert controller.is_partitioned(all_sites=["N1", "N2", "N3"])
+
+    def test_single_group_covering_all_sites_is_not_partitioned(self):
+        # Previously wrong: one explicit group containing the whole cluster
+        # is fully connected, yet was always reported as a partition.
+        controller = PartitionController()
+        controller.isolate(["N1", "N2", "N3"])
+        assert not controller.is_partitioned(all_sites=["N1", "N2", "N3"])
+
+    def test_heal_all_clears_partition(self):
+        controller = PartitionController()
+        controller.isolate(["N1"])
+        controller.heal()
+        assert not controller.is_partitioned()
+        assert controller.connected("N1", "N2")
+
+    def test_partial_heal_keeps_remaining_group_partitioned(self):
+        controller = PartitionController()
+        controller.isolate(["N1", "N2"])
+        controller.heal(["N1"])
+        # N2 is still split off from the implicit group (which now holds N1).
+        assert controller.is_partitioned(all_sites=["N1", "N2", "N3"])
+        assert not controller.connected("N1", "N2")
+        assert controller.connected("N1", "N3")
+
+
+class TestHistory:
+    def test_history_records_isolate_and_heal(self):
+        controller = PartitionController()
+        controller.isolate(["N1", "N2"], at_time=1.0)
+        controller.heal(at_time=2.0)
+        operations = [(time, op) for time, op, _ in controller.history]
+        assert operations == [(1.0, "isolate"), (2.0, "heal")]
