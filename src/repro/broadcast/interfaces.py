@@ -14,16 +14,43 @@ from __future__ import annotations
 import abc
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..types import MessageId, SiteId
 
 _BROADCAST_COUNTER = itertools.count(1)
 
+#: Prefix of synthetic message ids used to fill dead positions (gap fills).
+NOOP_FILL_PREFIX = "noop:"
+
 
 def next_broadcast_id(origin: SiteId) -> MessageId:
     """Return a globally unique broadcast message identifier."""
     return f"m:{origin}:{next(_BROADCAST_COUNTER)}"
+
+
+def noop_fill_id(position: int) -> MessageId:
+    """Synthetic message id of the no-op filling definitive ``position``."""
+    return f"{NOOP_FILL_PREFIX}{position}"
+
+
+def is_noop_fill_id(message_id: MessageId) -> bool:
+    """Whether ``message_id`` names a gap-fill no-op rather than a payload."""
+    return message_id.startswith(NOOP_FILL_PREFIX)
+
+
+@dataclass(frozen=True)
+class NoOpFill:
+    """Payload delivered for a definitive position declared dead.
+
+    After a whole-group crash the data of an already-ordered message can be
+    lost at every member; the coordinator then fills the position with a
+    no-op so delivery can proceed (the origin client re-submits the lost
+    request under a fresh message id).  Replica managers advance their
+    snapshot frontier past the position but install nothing.
+    """
+
+    position: int
 
 
 @dataclass
@@ -103,6 +130,90 @@ class AtomicBroadcastEndpoint(abc.ABC):
         #: property checker (Global/Local Order, Agreement).
         self.opt_delivery_log: List[MessageId] = []
         self.to_delivery_log: List[MessageId] = []
+        #: Messages this site obtained through state transfer instead of
+        #: delivery (a recovered site rejoins past them).  The property
+        #: checker counts them as delivered.
+        self.transfer_covered: Set[MessageId] = set()
+        #: Messages whose tentative/definitive delivery was voided by a crash
+        #: of this site (the paper's agreement properties bind correct sites
+        #: only; a crashed incarnation is excused).
+        self.crash_voided: Set[MessageId] = set()
+
+    # ------------------------------------------------------- crash recovery
+    def note_transfer_covered(self, message_id: Optional[MessageId]) -> None:
+        """Record that ``message_id`` was obtained via state transfer."""
+        if message_id is not None:
+            self.transfer_covered.add(message_id)
+
+    def _strike_undurable_deliveries(self, committed_through: int) -> Set[MessageId]:
+        """Void every delivery the crash destroyed (shared crash_reset core).
+
+        Opt-delivered-but-unconfirmed messages died with the process, and so
+        did TO-deliveries beyond the durable commit frontier
+        ``committed_through`` — exactly the tail of ``to_delivery_log`` whose
+        definitive positions exceed the frontier (delivery is position-
+        ordered, so the undurable suffix is contiguous).  Those entries are
+        struck from the log (the new incarnation re-delivers them) and the
+        whole set is recorded as crash-voided for the property checker.
+        Requires the subclass's ``_messages`` record map; call *before*
+        clearing it.
+        """
+        messages: Dict[MessageId, BroadcastMessage] = getattr(self, "_messages", {})
+        voided = {
+            message_id
+            for message_id, record in messages.items()
+            if record.opt_delivered and not record.to_delivered
+        }
+        while self.to_delivery_log:
+            record = messages.get(self.to_delivery_log[-1])
+            if (
+                record is None
+                or record.definitive_position is None
+                or record.definitive_position <= committed_through
+            ):
+                break
+            voided.add(self.to_delivery_log.pop())
+        self.crash_voided.update(voided)
+        return voided
+
+    def _copy_donor_order(
+        self, donor: "AtomicBroadcastEndpoint", committed_through: int
+    ) -> List[BroadcastMessage]:
+        """Copy a donor endpoint's ordering knowledge (shared rejoin core).
+
+        Adopts the donor's position map, marks every message at or below the
+        post-transfer frontier ``committed_through`` as transfer-covered
+        (its transaction arrived via the redo log), and returns fresh local
+        records for the donor's messages beyond the frontier that this
+        incarnation does not know yet — the subclass decides how to deliver
+        them.  Requires the ``_positions``/``_messages`` protocol shared by
+        the ordered-broadcast endpoints.
+        """
+        fresh: List[BroadcastMessage] = []
+        donor_position_of: Dict[MessageId, int] = {}
+        for position, message_id in donor._positions.items():
+            donor_position_of[message_id] = position
+            self._positions.setdefault(position, message_id)
+            if position <= committed_through:
+                self.transfer_covered.add(message_id)
+        for message_id, donor_record in donor._messages.items():
+            position = donor_position_of.get(message_id)
+            if position is None and donor_record.definitive_position is not None:
+                position = donor_record.definitive_position
+            if position is not None and position <= committed_through:
+                self.transfer_covered.add(message_id)
+                continue
+            if message_id in self._messages or message_id in self.transfer_covered:
+                continue
+            record = BroadcastMessage(
+                message_id=message_id,
+                origin=donor_record.origin,
+                payload=donor_record.payload,
+                broadcast_at=donor_record.broadcast_at,
+            )
+            self._messages[message_id] = record
+            fresh.append(record)
+        return fresh
 
     # ------------------------------------------------------------------- api
     @abc.abstractmethod

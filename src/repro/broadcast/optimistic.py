@@ -42,13 +42,20 @@ from ..network.dispatcher import SiteDispatcher
 from ..network.transport import NetworkTransport
 from ..simulation.kernel import SimulationKernel
 from ..types import MessageId, SiteId
-from .interfaces import AtomicBroadcastEndpoint, BroadcastMessage, next_broadcast_id
+from .interfaces import (
+    AtomicBroadcastEndpoint,
+    BroadcastMessage,
+    NoOpFill,
+    next_broadcast_id,
+    noop_fill_id,
+)
 from .reliable import ReliableBroadcast
 
 #: Envelope kinds used by the optimistic protocol.
 OPTIMISTIC_DATA_KIND = "optabcast.data"
 OPTIMISTIC_ORDER_KIND = "optabcast.order"
 OPTIMISTIC_ANNOUNCE_KIND = "optabcast.announce"
+OPTIMISTIC_SOLICIT_KIND = "optabcast.solicit"
 
 #: Supported ordering modes.
 ORDERING_MODES = ("sequencer", "voting")
@@ -83,6 +90,35 @@ class OptimisticAnnounce:
     message_id: MessageId
     site_id: SiteId
     local_position: int
+
+
+@dataclass(frozen=True)
+class DataSolicit:
+    """A recovering/stalled site's request for the data of an ordered message.
+
+    Sent when delivery stalls at a definitive position whose data message was
+    consumed by a previous (crashed) incarnation of this site.  Any group
+    member that still holds the data re-disseminates it; the coordinator, when
+    nobody does, eventually fills the position with a no-op.
+    """
+
+    message_id: MessageId
+    position: int
+    requester: SiteId
+
+
+@dataclass(frozen=True)
+class OptimisticFill:
+    """Coordinator decree declaring a definitive position a dead no-op.
+
+    Issued after a whole-group crash lost the data of an already-ordered
+    message at every member (nothing in any durable redo log and nobody
+    answered the solicit).  All sites advance past the position without
+    delivering a payload; the origin client re-submits the lost request.
+    """
+
+    position: int
+    message_id: MessageId
 
 
 @dataclass
@@ -143,6 +179,7 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
         dispatcher.register_kind(OPTIMISTIC_DATA_KIND, self._data_channel.on_envelope)
         dispatcher.register_kind(OPTIMISTIC_ORDER_KIND, self._order_channel.on_envelope)
         dispatcher.register_kind(OPTIMISTIC_ANNOUNCE_KIND, self._on_announce_envelope)
+        dispatcher.register_kind(OPTIMISTIC_SOLICIT_KIND, self._on_solicit_envelope)
         self._data_channel.add_listener(self._on_data)
         self._order_channel.add_listener(self._on_order)
         self._messages: Dict[MessageId, BroadcastMessage] = {}
@@ -153,11 +190,26 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
         self._next_position_to_assign = 0
         self._next_position_to_deliver = 0
         self._pending_confirmations: Dict[MessageId, _PendingConfirmation] = {}
+        #: Positions declared dead by a coordinator gap fill.
+        self._noop_positions: Set[int] = set()
+        self._gap_probe_position: Optional[int] = None
+        #: Optional hook installed by the cluster facade: returns False when a
+        #: position is recorded in *some* site's durable redo log (that site
+        #: will push the commit when it recovers), making a no-op fill unsafe.
+        self.fill_safe: Optional[Any] = None
         #: Voting-mode statistics: confirmations released because every site
         #: announced the same spontaneous position (fast path) vs. released on
         #: disagreement or timeout (conservative path).
         self.fast_path_confirmations = 0
         self.conservative_confirmations = 0
+
+    #: How long delivery may stall at one position before the data is
+    #: solicited from the group, and how long the coordinator then waits for
+    #: an answer before declaring the position dead.  Both sit far above any
+    #: healthy ordering delay (sub-millisecond LAN latencies, millisecond
+    #: retransmissions), so they only ever fire after a real loss.
+    GAP_PROBE_DELAY = 0.030
+    FILL_GRACE = 0.030
 
     # ------------------------------------------------------------------- api
     def broadcast(self, payload: Any) -> MessageId:
@@ -191,6 +243,66 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
         """Return this site's record of ``message_id`` (or ``None``)."""
         return self._messages.get(message_id)
 
+    # ------------------------------------------------------- crash recovery
+    def crash_reset(self, *, committed_through: int) -> None:
+        """Destroy this endpoint's volatile state (the site crashed).
+
+        Everything the communication manager held in memory is lost: message
+        records, tentative positions, the definitive-order map, delivery
+        pointers and pending confirmations.  ``committed_through`` is the
+        site's durable commit frontier; TO-deliveries beyond it were handed
+        to a transaction manager whose state died with the process, so they
+        are struck from the delivery log (the new incarnation re-delivers
+        them) and recorded as crash-voided for the property checker.
+        """
+        self._strike_undurable_deliveries(committed_through)
+        self._messages.clear()
+        self._local_positions.clear()
+        self._next_local_position = 0
+        self._positions.clear()
+        self._ordered_messages.clear()
+        self._pending_confirmations.clear()
+        self._noop_positions.clear()
+        self._next_position_to_assign = 0
+        self._next_position_to_deliver = 0
+        self._gap_probe_position = None
+
+    def rejoin(
+        self, donor: Optional["OptimisticAtomicBroadcast"], *, committed_through: int
+    ) -> None:
+        """Re-register with the broadcast group at the current sequence point.
+
+        ``committed_through`` is this site's commit frontier *after* state
+        transfer; delivery resumes at the next position.  When a live
+        ``donor`` endpoint is given, its view of the definitive order and its
+        undelivered message records are copied: positions at or below the
+        frontier are marked transfer-covered (their transactions arrived via
+        the redo log), everything beyond is opt-delivered into the fresh
+        incarnation so the scheduler can execute it while the definitive
+        confirmations stream in.
+        """
+        self._next_position_to_deliver = max(
+            self._next_position_to_deliver, committed_through + 1
+        )
+        self._next_position_to_assign = max(
+            self._next_position_to_assign, committed_through + 1
+        )
+        if donor is not None:
+            self._next_position_to_assign = max(
+                self._next_position_to_assign, donor._next_position_to_assign
+            )
+            self._noop_positions.update(donor._noop_positions)
+            for record in self._copy_donor_order(donor, committed_through):
+                self._opt_deliver_locally(record)
+            self._ordered_messages.update(self._positions.values())
+        if self.is_coordinator:
+            # A recovered site promoted straight back into the coordinator
+            # role (whole-group outage) must order whatever it just copied.
+            for message_id in list(self._local_positions):
+                if message_id not in self._ordered_messages:
+                    self._coordinator_handle(message_id)
+        self._try_to_deliver()
+
     def tentative_order(self) -> List[MessageId]:
         """The local tentative (Opt-delivery) order observed so far."""
         return list(self.opt_delivery_log)
@@ -217,17 +329,27 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
             record.payload = content.payload
             record.origin = content.origin
             record.broadcast_at = content.broadcast_at
+        if message_id in self.transfer_covered:
+            # A stale copy of a message whose transaction already reached this
+            # site through state transfer: keep the payload (for solicits) but
+            # never deliver it again.
+            self._try_to_deliver()
+            return
         if not record.opt_delivered:
-            local_position = self._next_local_position
-            self._next_local_position += 1
-            self._local_positions[message_id] = local_position
-            record.opt_delivered_at = self.kernel.now()
-            self._emit_opt_deliver(record)
-            if self.ordering_mode == "voting":
-                self._announce(message_id, local_position)
+            self._opt_deliver_locally(record)
         if self.is_coordinator:
             self._coordinator_handle(message_id)
         self._try_to_deliver()
+
+    def _opt_deliver_locally(self, record: BroadcastMessage) -> None:
+        """Assign the next tentative position to ``record`` and Opt-deliver it."""
+        local_position = self._next_local_position
+        self._next_local_position += 1
+        self._local_positions[record.message_id] = local_position
+        record.opt_delivered_at = self.kernel.now()
+        self._emit_opt_deliver(record)
+        if self.ordering_mode == "voting":
+            self._announce(record.message_id, local_position)
 
     # --------------------------------------------------------- coordination
     def _coordinator_handle(self, message_id: MessageId) -> None:
@@ -307,6 +429,9 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
 
     # ---------------------------------------------------- definitive delivery
     def _on_order(self, rb_id: MessageId, origin: SiteId, content: Any) -> None:
+        if isinstance(content, OptimisticFill):
+            self._on_fill(content)
+            return
         if not isinstance(content, OptimisticOrder):
             return
         if content.position in self._positions:
@@ -317,20 +442,42 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
             self._next_position_to_assign = content.position + 1
         self._try_to_deliver()
 
+    def _on_fill(self, fill: OptimisticFill) -> None:
+        """Apply a coordinator gap fill: the position becomes a no-op."""
+        if fill.position < self._next_position_to_deliver:
+            return  # already delivered (or skipped) here
+        self._noop_positions.add(fill.position)
+        if fill.position >= self._next_position_to_assign:
+            self._next_position_to_assign = fill.position + 1
+        self._try_to_deliver()
+
     def _try_to_deliver(self) -> None:
         while True:
-            message_id = self._positions.get(self._next_position_to_deliver)
+            position = self._next_position_to_deliver
+            if position in self._noop_positions:
+                self._deliver_noop(position)
+                self._next_position_to_deliver += 1
+                continue
+            message_id = self._positions.get(position)
             if message_id is None:
                 return
+            if message_id in self.transfer_covered:
+                # The transaction behind this position arrived via state
+                # transfer; skip the position without re-delivering.
+                self._next_position_to_deliver += 1
+                continue
             record = self._messages.get(message_id)
             if record is None or not record.opt_delivered:
                 # Local Order property: a site must Opt-deliver a message
-                # before TO-delivering it.  Wait until the data arrives.
+                # before TO-delivering it.  Wait until the data arrives — and
+                # probe the group if it never does (a crashed incarnation of
+                # this site may have consumed the only copy).
+                self._schedule_gap_probe(position, message_id)
                 return
             if record.to_delivered:
                 self._next_position_to_deliver += 1
                 continue
-            record.definitive_position = self._next_position_to_deliver
+            record.definitive_position = position
             record.to_delivered_at = self.kernel.now()
             if (
                 self._local_positions.get(message_id) is not None
@@ -339,3 +486,109 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
                 self.stats.out_of_order_to_deliveries += 1
             self._emit_to_deliver(record)
             self._next_position_to_deliver += 1
+
+    def _deliver_noop(self, position: int) -> None:
+        """TO-deliver the no-op filling a dead position."""
+        record = BroadcastMessage(
+            message_id=noop_fill_id(position),
+            origin=self.site_id,
+            payload=NoOpFill(position=position),
+            broadcast_at=self.kernel.now(),
+        )
+        record.definitive_position = position
+        record.opt_delivered_at = self.kernel.now()
+        record.to_delivered_at = self.kernel.now()
+        self._messages[record.message_id] = record
+        self._emit_to_deliver(record)
+
+    # ------------------------------------------------------------ gap repair
+    def _schedule_gap_probe(self, position: int, message_id: MessageId) -> None:
+        if self._gap_probe_position == position:
+            return
+        self._gap_probe_position = position
+        self.kernel.schedule(
+            self.GAP_PROBE_DELAY,
+            lambda: self._gap_probe(position, message_id),
+            label=f"optabcast-gap-probe:{self.site_id}:{position}",
+        )
+
+    def _gap_probe(self, position: int, message_id: MessageId) -> None:
+        if self._gap_probe_position == position:
+            self._gap_probe_position = None
+        if self._next_position_to_deliver != position:
+            return  # delivery progressed past the suspected gap
+        record = self._messages.get(message_id)
+        if record is not None and record.opt_delivered:
+            return  # the data arrived; the normal path delivers it
+        if not self.transport.is_site_up(self.site_id):
+            # The site is down; if the stall persists after recovery, the
+            # rejoin's delivery attempt schedules a fresh probe.
+            return
+        self.stats.control_messages += 1
+        self.transport.multicast(
+            self.site_id,
+            DataSolicit(
+                message_id=message_id, position=position, requester=self.site_id
+            ),
+            kind=OPTIMISTIC_SOLICIT_KIND,
+            destinations=self.group,
+            include_sender=False,
+        )
+        if self.is_coordinator:
+            self._schedule_fill(position, message_id)
+
+    def _on_solicit_envelope(self, envelope) -> bool:
+        solicit = envelope.payload
+        if not isinstance(solicit, DataSolicit):
+            return False
+        record = self._messages.get(solicit.message_id)
+        if record is not None and record.payload is not None:
+            # We still hold the data: re-disseminate it for the requester.
+            self.stats.control_messages += 1
+            self._data_channel.broadcast(
+                OptimisticData(
+                    message_id=solicit.message_id,
+                    origin=record.origin,
+                    payload=record.payload,
+                    broadcast_at=record.broadcast_at,
+                )
+            )
+        elif self.is_coordinator:
+            self._schedule_fill(solicit.position, solicit.message_id)
+        return True
+
+    #: How often a deferred fill re-checks whether the durable committer of a
+    #: stalled position has recovered, before giving up (bounded so a site
+    #: that never recovers cannot keep the simulation alive forever).
+    FILL_RETRY_LIMIT = 20
+
+    def _schedule_fill(
+        self, position: int, message_id: MessageId, *, attempts: int = 0
+    ) -> None:
+        self.kernel.schedule(
+            self.FILL_GRACE,
+            lambda: self._maybe_fill(position, message_id, attempts=attempts),
+            label=f"optabcast-fill:{self.site_id}:{position}",
+        )
+
+    def _maybe_fill(
+        self, position: int, message_id: MessageId, *, attempts: int = 0
+    ) -> None:
+        """Declare ``position`` dead unless the data resurfaced meanwhile."""
+        if not self.is_coordinator or position in self._noop_positions:
+            return
+        if position < self._next_position_to_deliver:
+            return
+        record = self._messages.get(message_id)
+        if record is not None and record.payload is not None:
+            return  # somebody answered the solicit
+        if self.fill_safe is not None and not self.fill_safe(position):
+            # Some site committed this position durably; when it recovers it
+            # will push the commit via state transfer.  Check again later.
+            if attempts < self.FILL_RETRY_LIMIT:
+                self._schedule_fill(position, message_id, attempts=attempts + 1)
+            return
+        self.stats.control_messages += 1
+        self._order_channel.broadcast(
+            OptimisticFill(position=position, message_id=message_id)
+        )

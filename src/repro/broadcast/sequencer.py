@@ -138,6 +138,55 @@ class SequencerAtomicBroadcast(AtomicBroadcastEndpoint):
         """Return this site's record of ``message_id`` (or ``None``)."""
         return self._messages.get(message_id)
 
+    # ------------------------------------------------------- crash recovery
+    def crash_reset(self, *, committed_through: int) -> None:
+        """Destroy this endpoint's volatile state (the site crashed).
+
+        Mirrors :meth:`OptimisticAtomicBroadcast.crash_reset`: message
+        records, the position map and the delivery pointers are volatile and
+        die with the process; deliveries beyond the durable commit frontier
+        ``committed_through`` are struck from the logs and recorded as
+        crash-voided.
+        """
+        self._strike_undurable_deliveries(committed_through)
+        # The conservative protocol emits Opt- and TO-delivery together, so
+        # the opt log is truncated to mirror the TO log.
+        delivered = set(self.to_delivery_log)
+        self.opt_delivery_log = [
+            message_id for message_id in self.opt_delivery_log if message_id in delivered
+        ]
+        self._messages.clear()
+        self._positions.clear()
+        self._next_position_to_assign = 0
+        self._next_position_to_deliver = 0
+
+    def rejoin(
+        self, donor: Optional["SequencerAtomicBroadcast"], *, committed_through: int
+    ) -> None:
+        """Re-register with the group at the current sequence point.
+
+        Positions at or below the post-transfer frontier ``committed_through``
+        are marked transfer-covered; the donor's knowledge of later positions
+        and still-undelivered data is copied so delivery can resume.
+        """
+        self._next_position_to_deliver = max(
+            self._next_position_to_deliver, committed_through + 1
+        )
+        self._next_position_to_assign = max(
+            self._next_position_to_assign, committed_through + 1
+        )
+        if donor is not None:
+            self._next_position_to_assign = max(
+                self._next_position_to_assign, donor._next_position_to_assign
+            )
+            self._copy_donor_order(donor, committed_through)
+        if self.is_sequencer:
+            ordered = set(self._positions.values())
+            for message_id in list(self._messages):
+                if message_id not in ordered:
+                    self._assign_position(message_id)
+        self._try_deliver()
+
     # -------------------------------------------------------------- internal
     def _on_data(self, rb_id: MessageId, origin: SiteId, content: Any) -> None:
         if not isinstance(content, SequencerData):
@@ -155,6 +204,9 @@ class SequencerAtomicBroadcast(AtomicBroadcastEndpoint):
             record.payload = content.payload
             record.origin = content.origin
             record.broadcast_at = content.broadcast_at
+        if content.message_id in self.transfer_covered:
+            self._try_deliver()
+            return
         if self.is_sequencer:
             self._assign_position(content.message_id)
         self._try_deliver()
@@ -185,6 +237,10 @@ class SequencerAtomicBroadcast(AtomicBroadcastEndpoint):
             message_id = self._positions.get(self._next_position_to_deliver)
             if message_id is None:
                 return
+            if message_id in self.transfer_covered:
+                # Obtained through state transfer; skip without re-delivery.
+                self._next_position_to_deliver += 1
+                continue
             record = self._messages.get(message_id)
             if record is None:
                 # The ordering decision arrived before the data message;

@@ -40,6 +40,7 @@ from .scenarios import (
     SCENARIOS,
     ChaosRunResult,
     build_chaos_cluster,
+    crash_during_execution,
     execute_chaos_run,
     latency_spike_under_load,
     partition_during_optimistic_delivery,
@@ -70,5 +71,6 @@ __all__ = [
     "rolling_shard_crashes",
     "whole_shard_outage",
     "partition_during_optimistic_delivery",
+    "crash_during_execution",
     "latency_spike_under_load",
 ]

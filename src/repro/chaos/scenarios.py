@@ -35,6 +35,7 @@ from ..errors import ChaosError, VerificationError
 from ..sharding.cluster import ShardedCluster
 from ..types import SiteId
 from ..verification.liveness import check_sharded_eventual_termination
+from ..verification.recovery import check_recovery_completeness
 from ..verification.sharded import (
     check_cross_shard_query_consistency,
     check_sharded_one_copy_serializability,
@@ -69,11 +70,19 @@ class ChaosRunResult:
     violations: List[str] = field(default_factory=list)
     faults_cease_at: float = 0.0
     duration: float = 0.0
+    recovery_ok: bool = True
+    recovered_sites: int = 0
+    transferred_commits: int = 0
 
     @property
     def ok(self) -> bool:
         """Whether every verification layer passed."""
-        return self.one_copy_ok and self.queries_consistent and self.liveness_ok
+        return (
+            self.one_copy_ok
+            and self.queries_consistent
+            and self.liveness_ok
+            and self.recovery_ok
+        )
 
     def raise_if_violated(self) -> None:
         """Raise :class:`VerificationError` when any check failed."""
@@ -108,6 +117,7 @@ def build_chaos_cluster(
     sites_per_shard: int = DEFAULT_SITES_PER_SHARD,
     updates_per_shard: int = DEFAULT_UPDATES_PER_SHARD,
     queries: int = DEFAULT_QUERIES,
+    update_duration: float = 0.001,
 ) -> Tuple[ShardedCluster, ShardedWorkloadSpec]:
     """Build the standard cluster + workload spec used by the scenarios.
 
@@ -123,7 +133,7 @@ def build_chaos_cluster(
         update_interval=0.004,
         queries=queries,
         query_span=3,
-        update_duration=0.001,
+        update_duration=update_duration,
     )
     base_spec = spec.base_spec()
     config = ShardingConfig(
@@ -160,6 +170,7 @@ def execute_chaos_run(
     one_copy = check_sharded_one_copy_serializability(cluster)
     queries = check_cross_shard_query_consistency(cluster)
     liveness = check_sharded_eventual_termination(cluster)
+    recovery = check_recovery_completeness(cluster)
     return ChaosRunResult(
         scenario=scenario,
         seed=seed,
@@ -170,9 +181,15 @@ def execute_chaos_run(
         one_copy_ok=one_copy.ok,
         queries_consistent=queries.ok,
         liveness_ok=liveness.ok,
-        violations=one_copy.violations + queries.violations + liveness.violations,
+        violations=one_copy.violations
+        + queries.violations
+        + liveness.violations
+        + recovery.violations,
         faults_cease_at=plan.faults_cease_at(),
         duration=cluster.now,
+        recovery_ok=recovery.ok,
+        recovered_sites=recovery.recovered_sites_checked,
+        transferred_commits=recovery.transferred_commits,
     )
 
 
@@ -248,6 +265,35 @@ def partition_during_optimistic_delivery(seed: int = 1, **sizing) -> ChaosRunRes
     )
 
 
+def crash_during_execution(seed: int = 1, **sizing) -> ChaosRunResult:
+    """Crash a seed-chosen site of the first shard while transactions execute.
+
+    The scenario stretches the per-transaction service time so the crash
+    window reliably lands on sites with populated class queues, optimistic
+    deliveries awaiting confirmation and workspaces mid-flight.  With real
+    crash semantics all of that volatile state dies with the process: on
+    recovery the site must rebuild its committed prefix from a live peer's
+    redo log (state transfer), rejoin its broadcast group at the current
+    sequence point and re-submit its own unresolved client requests.  The
+    run then has to pass the recovery-completeness check on top of the
+    standard property stack — the recovered store, history and frontier must
+    be indistinguishable from a replica that never crashed.
+    """
+    # Longer executions than the default scenario sizing: the crash must hit
+    # transactions *during* execution, not between them.
+    sizing.setdefault("update_duration", 0.004)
+    cluster, spec = build_chaos_cluster(seed, **sizing)
+    first_shard = cluster.shard_ids()[0]
+    plan = (
+        FaultPlan("crash-during-execution")
+        .crash(random_site(first_shard), at=0.025, duration=0.060)
+        .crash(random_site(first_shard), at=0.070, duration=0.050)
+    )
+    return execute_chaos_run(
+        cluster, spec, plan, scenario="crash_during_execution", seed=seed
+    )
+
+
 def latency_spike_under_load(seed: int = 1, **sizing) -> ChaosRunResult:
     """Inflate every message delay by 5 ms for a window in mid-load.
 
@@ -268,6 +314,7 @@ SCENARIOS: Dict[str, Callable[..., ChaosRunResult]] = {
     "rolling_shard_crashes": rolling_shard_crashes,
     "whole_shard_outage": whole_shard_outage,
     "partition_during_optimistic_delivery": partition_during_optimistic_delivery,
+    "crash_during_execution": crash_during_execution,
     "latency_spike_under_load": latency_spike_under_load,
 }
 

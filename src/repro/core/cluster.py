@@ -81,13 +81,18 @@ class ReplicatedDatabase:
         site_ids = config.site_ids()
         coordinator = site_ids[0]
         self._current_coordinator = coordinator
-        # Coordinator failover: when the site that establishes the definitive
-        # order crashes, the lowest-id surviving site takes over, and a
-        # recovering site adopts the current coordinator.  Membership changes
-        # are driven by the crash manager (ground truth in the simulation); a
-        # full group-membership/view-change protocol is out of scope — the
-        # failure-detector substrate (:mod:`repro.failure.detector`) shows how
-        # the same decision would be taken from suspicions.
+        # Crash semantics and coordinator failover: a crash destroys the
+        # site's volatile state (ReplicaManager.on_crash) and, when the
+        # crashed site held the coordinator role, the lowest-id surviving
+        # site takes over.  A recovering site runs the catch-up protocol
+        # (ReplicaManager.on_recover: state transfer, broadcast rejoin,
+        # client re-submission) and adopts the current coordinator — or is
+        # promoted itself when it rejoins a group whose coordinator is still
+        # down.  Membership changes are driven by the crash manager (ground
+        # truth in the simulation); a full group-membership/view-change
+        # protocol is out of scope — the failure-detector substrate
+        # (:mod:`repro.failure.detector`) shows how the same decision would
+        # be taken from suspicions.
         self.crash_manager.add_listener(self._on_liveness_change)
         for site_id in site_ids:
             dispatcher = SiteDispatcher(self.transport, site_id)
@@ -125,6 +130,19 @@ class ReplicatedDatabase:
                 duration_scale=config.duration_scale,
                 initial_data=dict(initial_data or {}),
             )
+        # A no-op gap fill is only safe when no site — up or down — holds the
+        # position in its durable redo log (a down committer will push the
+        # commit via state transfer when it recovers).
+        for endpoint in self._broadcasts.values():
+            if isinstance(endpoint, OptimisticAtomicBroadcast):
+                endpoint.fill_safe = self._position_uncommitted_everywhere
+
+    def _position_uncommitted_everywhere(self, position: int) -> bool:
+        """Whether no replica's durable redo log records ``position``."""
+        return not any(
+            replica.redo_log.covers_index(position)
+            for replica in self.replicas.values()
+        )
 
     # ------------------------------------------------------------- accessors
     def site_ids(self) -> List[SiteId]:
@@ -147,20 +165,32 @@ class ReplicatedDatabase:
         return self._current_coordinator
 
     def _on_liveness_change(self, site_id: SiteId, up: bool) -> None:
-        """Promote a new coordinator on crash; re-point recovering sites."""
-        if not up and site_id == self._current_coordinator:
-            survivors = [
-                candidate
-                for candidate in self.site_ids()
-                if self.crash_manager.is_up(candidate)
-            ]
-            if not survivors:
-                return
-            self._current_coordinator = survivors[0]
+        """Apply crash/recovery semantics and keep the coordinator role live."""
+        up_sites = [
+            candidate
+            for candidate in self.site_ids()
+            if self.crash_manager.is_up(candidate)
+        ]
+        if not up:
+            # The crashed process loses its volatile state before anything
+            # else reacts to the membership change.
+            self.replicas[site_id].on_crash()
+            if site_id == self._current_coordinator and up_sites:
+                self._current_coordinator = up_sites[0]
+                for endpoint in self._broadcasts.values():
+                    self._point_endpoint_at_coordinator(endpoint)
+            return
+        if not self.crash_manager.is_up(self._current_coordinator):
+            # The recovering site rejoins a group whose coordinator is still
+            # down (a whole-group outage): promote the lowest-id up site.
+            self._current_coordinator = up_sites[0]
             for endpoint in self._broadcasts.values():
                 self._point_endpoint_at_coordinator(endpoint)
-        elif up:
+        else:
             self._point_endpoint_at_coordinator(self._broadcasts[site_id])
+        self.replicas[site_id].on_recover(
+            [self.replicas[peer] for peer in up_sites]
+        )
 
     def _point_endpoint_at_coordinator(self, endpoint) -> None:
         if isinstance(endpoint, OptimisticAtomicBroadcast):

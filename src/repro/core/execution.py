@@ -146,6 +146,23 @@ class ExecutionEngine:
         """Number of transactions waiting for a CPU slot."""
         return len(self._cpu_queue)
 
+    def crash_reset(self) -> int:
+        """Cancel every running and queued execution (the site crashed).
+
+        Completion events are descheduled so no callback of the dead
+        incarnation ever fires; returns the number of executions killed.
+        """
+        killed = 0
+        for running in self._running.values():
+            if running.completion_event is not None:
+                self.kernel.cancel(running.completion_event)
+            killed += 1
+        self._running.clear()
+        killed += len(self._cpu_queue)
+        self._cpu_queue.clear()
+        self.executions_cancelled += killed
+        return killed
+
     # -------------------------------------------------------------- internal
     def _start(self, transaction: Transaction, on_complete: CompletionCallback) -> None:
         procedure = self.registry.get(transaction.request.procedure_name)
@@ -206,6 +223,19 @@ class QueryExecution:
     started_at: float
     completed_at: Optional[float] = None
     result: object = None
+    #: Set when the executing site crashed mid-query: the snapshot read died
+    #: with the process and the client receives an error instead of a result.
+    aborted_at: Optional[float] = None
+
+    @property
+    def aborted(self) -> bool:
+        """Whether the query was killed by a crash of its site."""
+        return self.aborted_at is not None
+
+    @property
+    def terminated(self) -> bool:
+        """Whether the query reached a terminal state (result or error)."""
+        return self.completed_at is not None or self.aborted_at is not None
 
     @property
     def latency(self) -> Optional[float]:
@@ -235,6 +265,7 @@ class QueryEngine:
         self._duration_stream = kernel.random.stream(f"query.duration.{site_id}")
         self._query_counter = 0
         self.completed: List[QueryExecution] = []
+        self._pending: Dict[str, "_PendingQuery"] = {}
 
     def submit(
         self,
@@ -264,10 +295,41 @@ class QueryEngine:
         )
 
         def finish() -> None:
+            self._pending.pop(execution.query_id, None)
             execution.completed_at = self.kernel.now()
             execution.result = result
             self.completed.append(execution)
             on_complete(execution)
 
-        self.kernel.schedule(duration, finish, label=f"query-complete:{execution.query_id}")
+        event = self.kernel.schedule(
+            duration, finish, label=f"query-complete:{execution.query_id}"
+        )
+        self._pending[execution.query_id] = _PendingQuery(
+            execution=execution, event=event, on_complete=on_complete
+        )
         return execution
+
+    def crash_reset(self) -> int:
+        """Abort every in-flight query (the site crashed).
+
+        The buffered results die with the process; each pending query is
+        marked aborted and its completion callback fires once so clients (and
+        the cross-shard router) can observe the failure and retry elsewhere.
+        Returns the number of queries aborted.
+        """
+        pending = list(self._pending.values())
+        self._pending.clear()
+        for entry in pending:
+            self.kernel.cancel(entry.event)
+            entry.execution.aborted_at = self.kernel.now()
+            entry.on_complete(entry.execution)
+        return len(pending)
+
+
+@dataclass
+class _PendingQuery:
+    """One query whose simulated execution has not finished yet."""
+
+    execution: QueryExecution
+    event: "Event"
+    on_complete: Callable[[QueryExecution], None]

@@ -10,9 +10,9 @@ multi-version store and the snapshot-based query engine).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
-from ..broadcast.interfaces import AtomicBroadcastEndpoint, BroadcastMessage
+from ..broadcast.interfaces import AtomicBroadcastEndpoint, BroadcastMessage, NoOpFill
 from ..database.conflict import ConflictClassMap
 from ..database.history import CommittedTransaction, SiteHistory
 from ..database.procedures import ProcedureRegistry, StoredProcedure
@@ -27,11 +27,15 @@ from ..database.transaction import (
 from ..errors import DatabaseError, ReplicationError
 from ..metrics.collector import MetricsCollector
 from ..simulation.kernel import SimulationKernel
-from ..types import ObjectKey, ObjectValue, SiteId, TransactionId
+from ..types import MessageId, ObjectKey, ObjectValue, SiteId, TransactionId
 from .execution import ExecutionEngine, QueryEngine, QueryExecution
 
 #: Called at the origin site when one of its own transactions commits there.
 ClientCompletionCallback = Callable[[Transaction], None]
+
+
+class SiteCrashedError(ReplicationError):
+    """Raised when a client submits work to a site that is currently down."""
 
 
 @dataclass
@@ -41,6 +45,11 @@ class SubmittedRequest:
     request: TransactionRequest
     submitted_at: float
     committed_at: Optional[float] = None
+    #: Set when the origin site crashed before observing the commit: the
+    #: client is told the outcome is unknown.  The recovered site re-submits
+    #: the request (deduplicated cluster-wide), so the transaction still
+    #: commits exactly once and ``committed_at`` is filled in eventually.
+    crash_voided_at: Optional[float] = None
 
     @property
     def latency(self) -> Optional[float]:
@@ -100,8 +109,28 @@ class ReplicaManager:
         self.queries: List[QueryExecution] = []
         self._client_listeners: List[ClientCompletionCallback] = []
         self._commit_listeners: List[ClientCompletionCallback] = []
+        self._open = True
+        self._message_ids: Dict[TransactionId, MessageId] = {}
         broadcast.add_opt_listener(self._on_opt_deliver)
         broadcast.add_to_listener(self._on_to_deliver)
+
+    # -------------------------------------------------------------- liveness
+    @property
+    def is_open(self) -> bool:
+        """Whether this site currently accepts client submissions."""
+        return self._open
+
+    @property
+    def commit_frontier(self) -> int:
+        """Largest index of this site's gap-free committed prefix (durable)."""
+        return self.snapshot_manager.last_processed_index
+
+    def _ensure_open(self) -> None:
+        if not self._open:
+            raise SiteCrashedError(
+                f"site {self.site_id} is down; submissions are refused until it "
+                "recovers and catches up"
+            )
 
     # ------------------------------------------------------------- listeners
     def add_client_listener(self, listener: ClientCompletionCallback) -> None:
@@ -123,6 +152,7 @@ class ReplicaManager:
         immediately and the commit can be observed through
         :meth:`add_client_listener` or :attr:`submitted`.
         """
+        self._ensure_open()
         parameters = dict(parameters or {})
         procedure = self.registry.get(procedure_name)
         if procedure.is_query:
@@ -154,6 +184,7 @@ class ReplicaManager:
         on_complete: Optional[Callable[[QueryExecution], None]] = None,
     ) -> QueryExecution:
         """Execute a read-only query locally over a consistent snapshot (Section 5)."""
+        self._ensure_open()
         parameters = dict(parameters or {})
         procedure = self.registry.get(procedure_name)
         if not procedure.is_query:
@@ -165,9 +196,12 @@ class ReplicaManager:
         self.metrics.increment("queries_submitted")
 
         def finished(execution: QueryExecution) -> None:
-            self.metrics.increment("queries_completed")
-            if execution.latency is not None:
-                self.metrics.record_latency("query_latency", execution.latency)
+            if execution.aborted:
+                self.metrics.increment("queries_aborted_by_crash")
+            else:
+                self.metrics.increment("queries_completed")
+                if execution.latency is not None:
+                    self.metrics.record_latency("query_latency", execution.latency)
             if on_complete is not None:
                 on_complete(execution)
 
@@ -180,22 +214,55 @@ class ReplicaManager:
         request = message.payload
         if not isinstance(request, TransactionRequest):
             return
+        transaction_id = request.transaction_id
+        if transaction_id in self.history:
+            # A stale or duplicate copy of a transaction this site already
+            # committed (flushed pre-crash traffic, or a post-recovery
+            # re-submission racing its original): ignore it.
+            self.metrics.increment("stale_deliveries_ignored")
+            return
+        if self.scheduler.transaction(transaction_id) is not None:
+            # A second broadcast of a request whose first copy is still being
+            # processed (origin re-submitted after recovering): ignore it.
+            self.metrics.increment("stale_deliveries_ignored")
+            return
+        self._message_ids.setdefault(transaction_id, message.message_id)
         transaction = Transaction(request=request, site_id=self.site_id)
         self.metrics.increment("messages_opt_delivered")
         self.scheduler.on_opt_deliver(transaction)
 
     def _on_to_deliver(self, message: BroadcastMessage) -> None:
-        request = message.payload
-        if not isinstance(request, TransactionRequest):
-            return
+        payload = message.payload
         if message.definitive_position is None:
             raise ReplicationError(
                 f"TO-delivered message {message.message_id} carries no definitive position"
             )
+        if isinstance(payload, NoOpFill):
+            # A dead position filled by the coordinator after a whole-group
+            # crash: nothing to execute, but the snapshot frontier must pass.
+            self.snapshot_manager.advance(message.definitive_position)
+            self.metrics.increment("noop_positions_filled")
+            return
+        if not isinstance(payload, TransactionRequest):
+            return
+        transaction_id = payload.transaction_id
+        if transaction_id in self.history:
+            # Definitive confirmation of a duplicate (or of a copy covered by
+            # state transfer): the position holds no new work, but the
+            # snapshot frontier must still pass over it.
+            self.snapshot_manager.advance(message.definitive_position)
+            self.metrics.increment("duplicate_orders_ignored")
+            return
+        transaction = self.scheduler.transaction(transaction_id)
+        if transaction is not None and transaction.global_index is not None:
+            # Second copy ordered while the first already holds a position.
+            self.snapshot_manager.advance(message.definitive_position)
+            self.metrics.increment("duplicate_orders_ignored")
+            return
         self.metrics.increment("messages_to_delivered")
         if message.ordering_delay is not None:
             self.metrics.record_latency("ordering_delay", message.ordering_delay)
-        self.scheduler.on_to_deliver(request.transaction_id, message.definitive_position)
+        self.scheduler.on_to_deliver(transaction_id, message.definitive_position)
 
     # ----------------------------------------------------------------- commit
     def _on_commit(self, transaction: Transaction) -> None:
@@ -229,7 +296,10 @@ class ReplicaManager:
                     "assumption of the concurrency-control model (paper Section 2.3)."
                 ) from error
         self.redo_log.append_commit(
-            transaction.transaction_id, transaction.workspace, transaction.global_index
+            transaction.transaction_id,
+            transaction.workspace,
+            transaction.global_index,
+            committed_at=now,
         )
         self.snapshot_manager.advance(transaction.global_index)
         self.history.record_commit(
@@ -240,6 +310,7 @@ class ReplicaManager:
                 committed_at=now,
                 write_keys=tuple(sorted(transaction.workspace.keys())),
                 read_keys=tuple(sorted(transaction.read_set)),
+                message_id=self._message_ids.pop(transaction.transaction_id, None),
             )
         )
         self.metrics.increment("commits")
@@ -267,6 +338,146 @@ class ReplicaManager:
                 listener(transaction)
         for listener in self._commit_listeners:
             listener(transaction)
+
+    # --------------------------------------------------------- crash recovery
+    def on_crash(self) -> None:
+        """Destroy this site's volatile state (paper Section 2 crash model).
+
+        The process dies: in-flight transactions are aborted and their
+        workspaces discarded, the optimistic- and TO-delivery state of the
+        communication manager is dropped, running snapshot queries are killed
+        and the site stops accepting submissions.  What survives is exactly
+        the durable state — the committed multi-version store, the redo log,
+        the commit history and the commit frontier.
+        """
+        if not self._open:
+            return
+        self._open = False
+        now = self.kernel.now()
+        lost = self.scheduler.crash_reset()
+        self.engine.crash_reset()
+        aborted_queries = self.query_engine.crash_reset()
+        self.broadcast.crash_reset(committed_through=self.commit_frontier)
+        self._message_ids.clear()
+        for submitted in self.submitted.values():
+            if submitted.committed_at is None and submitted.crash_voided_at is None:
+                submitted.crash_voided_at = now
+        self.metrics.increment("crashes")
+        self.metrics.increment("inflight_lost_in_crash", lost)
+        self.metrics.increment("queries_killed_in_crash", aborted_queries)
+
+    def on_recover(self, peers: Iterable["ReplicaManager"]) -> None:
+        """Recover from a crash: catch up, rejoin the group, reopen.
+
+        ``peers`` are the replica managers of the sites currently up in this
+        site's broadcast group.  The recovery protocol (paper Section 3.2,
+        "traditional recovery techniques" before rejoining the broadcast
+        group):
+
+        1. state transfer — replay the redo-log suffix of the most advanced
+           live peer into the local store (original commit timestamps);
+        2. rejoin — re-register with the broadcast group at the current
+           sequence point, so delivery resumes exactly after the transferred
+           prefix;
+        3. reconcile — push our own durable suffix to any live peer that is
+           behind us (possible when this site survived commits that every
+           other group member lost in a staggered whole-group crash);
+        4. reopen for client submissions and re-submit every own transaction
+           whose outcome the crash left unknown (deduplicated cluster-wide).
+        """
+        if self._open:
+            return
+        live = [peer for peer in peers if peer is not self]
+        donor: Optional["ReplicaManager"] = None
+        for peer in live:
+            if donor is None or peer.commit_frontier > donor.commit_frontier:
+                donor = peer
+        if donor is not None and donor.commit_frontier > self.commit_frontier:
+            self.catch_up_from(donor)
+        self.broadcast.rejoin(
+            donor.broadcast if donor is not None else None,
+            committed_through=self.commit_frontier,
+        )
+        for peer in live:
+            if peer.commit_frontier < self.commit_frontier:
+                peer.catch_up_from(self)
+        self._open = True
+        self.metrics.increment("recoveries")
+        for transaction_id, submitted in sorted(self.submitted.items()):
+            if submitted.committed_at is not None:
+                continue
+            if transaction_id in self.history:
+                continue
+            if self.scheduler.transaction(transaction_id) is not None:
+                continue
+            self.metrics.increment("resubmitted_after_recovery")
+            self.broadcast.broadcast(submitted.request)
+
+    def catch_up_from(self, donor: "ReplicaManager") -> int:
+        """State transfer: replay ``donor``'s committed suffix into this site.
+
+        Copies every commit with ``self.commit_frontier < index <=
+        donor.commit_frontier`` — store versions (with their original commit
+        times), redo-log records and history entries — then forces the
+        snapshot frontier to the donor's.  Transactions still sitting in this
+        site's scheduler queues are discarded first (their definitive
+        confirmation becomes a no-op), and the broadcast endpoint is told
+        which message ids the transfer covered.  Returns the number of
+        transactions transferred.
+        """
+        after_index = self.commit_frontier
+        up_to = donor.commit_frontier
+        if up_to <= after_index:
+            return 0
+        own_indices = self.history.global_indices()
+        transferred = 0
+        touched_classes = set()
+        redo_by_index: Dict[int, List] = {}
+        for record in donor.redo_log.records_after(after_index, up_to=up_to):
+            redo_by_index.setdefault(record.index, []).append(record)
+        for committed in donor.history.commits_in_index_range(after_index, up_to):
+            if committed.global_index in own_indices:
+                continue
+            if committed.transaction_id in self.history:
+                continue
+            self.scheduler.discard(committed.transaction_id)
+            writes: Dict[ObjectKey, ObjectValue] = {}
+            for record in redo_by_index.get(committed.global_index, ()):
+                if record.transaction_id != committed.transaction_id:
+                    continue
+                writes[record.key] = record.value
+                self.store.install(
+                    record.key,
+                    record.value,
+                    created_index=record.index,
+                    created_by=record.transaction_id,
+                    created_at=record.committed_at,
+                )
+            self.redo_log.append_commit(
+                committed.transaction_id,
+                writes,
+                committed.global_index,
+                committed_at=committed.committed_at,
+            )
+            self.history.record_commit(committed)
+            self.snapshot_manager.advance(committed.global_index)
+            self.broadcast.note_transfer_covered(committed.message_id)
+            touched_classes.add(committed.conflict_class)
+            transferred += 1
+            submitted = self.submitted.get(committed.transaction_id)
+            if submitted is not None and submitted.committed_at is None:
+                # The client finally learns its request committed elsewhere
+                # while this site was down.
+                submitted.committed_at = self.kernel.now()
+        self.snapshot_manager.force_frontier(up_to)
+        # Tentative executions in the touched classes read pre-transfer
+        # versions; committing their buffered workspaces would contradict the
+        # definitive order.  Abort them so they re-execute against the
+        # transferred state (a recovery-flavoured CC8).
+        for conflict_class in sorted(touched_classes):
+            self.scheduler.invalidate_class_executions(conflict_class)
+        self.metrics.increment("state_transfer_commits", transferred)
+        return transferred
 
     # ------------------------------------------------------------ inspection
     def committed_count(self) -> int:

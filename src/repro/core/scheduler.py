@@ -166,6 +166,78 @@ class OTPScheduler:
         ):
             self._submit(transaction)                                   # CC12
 
+    # --------------------------------------------------------- crash recovery
+    def crash_reset(self) -> int:
+        """Destroy all volatile scheduling state (the site crashed).
+
+        Every queued transaction — pending, executing or executed-but-not-
+        committed — is discarded together with its private workspace; the
+        class queues and the id index are emptied.  Returns the number of
+        transactions lost with the crash.
+        """
+        lost = sum(len(queue) for queue in self._queues.values())
+        self._queues.clear()
+        self._by_id.clear()
+        self.metrics.increment("transactions_lost_in_crash", lost)
+        return lost
+
+    def discard(self, transaction_id: TransactionId) -> bool:
+        """Remove a queued transaction without committing it.
+
+        Used during recovery when a transaction still sitting in a class
+        queue arrives through state transfer instead: its queued copy must
+        not execute (the workspace would be installed twice).  Cancels any
+        in-flight execution, unblocks the queue and returns whether anything
+        was removed.
+        """
+        transaction = self._by_id.pop(transaction_id, None)
+        if transaction is None:
+            return False
+        queue = self.queue_for(transaction.conflict_class)
+        was_head = queue.first() is transaction
+        self.engine.cancel(transaction)
+        queue.remove(transaction)
+        self.metrics.increment("transactions_discarded")
+        if was_head:
+            successor = queue.first()
+            if (
+                successor is not None
+                and not successor.executing
+                and not self.engine.is_submitted(successor.transaction_id)
+            ):
+                self._submit(successor)
+        return True
+
+    def invalidate_class_executions(self, conflict_class: ConflictClassId) -> int:
+        """Abort every tentative execution in one class queue (recovery).
+
+        State transfer installs committed writes *around* the scheduler: a
+        transaction of the same class that already executed tentatively read
+        the pre-transfer versions, and committing its buffered workspace
+        would serialize it before writes that precede it in the definitive
+        order.  Every queued transaction of the class that is executing or
+        executed is aborted exactly like a CC8 reordering abort and will
+        re-execute against the transferred state.  Returns the abort count.
+        """
+        queue = self._queues.get(conflict_class)
+        if queue is None:
+            return 0
+        invalidated = 0
+        for transaction in list(queue):
+            if transaction.executing or transaction.is_executed:
+                self.engine.cancel(transaction)
+                transaction.abort_for_reordering()
+                self.metrics.increment("reorder_aborts")
+                invalidated += 1
+        head = queue.first()
+        if (
+            head is not None
+            and not head.executing
+            and not self.engine.is_submitted(head.transaction_id)
+        ):
+            self._submit(head)
+        return invalidated
+
     # ---------------------------------------------------------------- helpers
     def _submit(self, transaction: Transaction) -> None:
         """Submit one execution attempt of the queue-head transaction."""

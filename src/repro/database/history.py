@@ -18,7 +18,12 @@ from ..types import ConflictClassId, ObjectKey, SiteId, TransactionId
 
 @dataclass(frozen=True)
 class CommittedTransaction:
-    """One committed transaction as recorded in a site's history."""
+    """One committed transaction as recorded in a site's history.
+
+    ``message_id`` is the atomic-broadcast message that carried the request;
+    state transfer uses it to tell a recovering site's broadcast endpoint
+    which messages are already covered and must not be delivered again.
+    """
 
     transaction_id: TransactionId
     conflict_class: ConflictClassId
@@ -26,6 +31,7 @@ class CommittedTransaction:
     committed_at: float
     write_keys: Tuple[ObjectKey, ...] = ()
     read_keys: Tuple[ObjectKey, ...] = ()
+    message_id: Optional[str] = None
 
 
 class SiteHistory:
@@ -70,6 +76,26 @@ class SiteHistory:
     def get(self, transaction_id: TransactionId) -> Optional[CommittedTransaction]:
         """Return the record of ``transaction_id`` (or ``None``)."""
         return self._by_id.get(transaction_id)
+
+    def global_indices(self) -> Set[int]:
+        """Return the set of definitive indices committed at this site."""
+        return {commit.global_index for commit in self._commits}
+
+    def commits_in_index_range(
+        self, after_index: int, up_to: int
+    ) -> List[CommittedTransaction]:
+        """Commits with ``after_index < global_index <= up_to``, index-ordered.
+
+        State transfer walks the donor's history in definitive-index order so
+        the recovering site installs versions in non-decreasing index order.
+        """
+        selected = [
+            commit
+            for commit in self._commits
+            if after_index < commit.global_index <= up_to
+        ]
+        selected.sort(key=lambda commit: commit.global_index)
+        return selected
 
     def __len__(self) -> int:
         return len(self._commits)

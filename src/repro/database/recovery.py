@@ -1,4 +1,4 @@
-"""Undo logging ("traditional recovery techniques", paper Section 3.2).
+"""Undo/redo logging ("traditional recovery techniques", paper Section 3.2).
 
 The OTP scheduler may have to *undo* the effects of a transaction that was
 executed in the wrong tentative order (step CC8) and re-execute it later.
@@ -9,14 +9,19 @@ machinery as well: before-images are recorded in an :class:`UndoLog`, writes
 are applied to the store immediately, and rollback restores the
 before-images (by removing the installed versions).
 
-The module also provides a minimal redo/replay facility used when a crashed
-site recovers and has to catch up with transactions committed elsewhere.
+The redo log is the durable half of a site: every committed write is
+appended together with its definitive index and real commit time.  When a
+crashed site recovers it catches up by replaying a live peer's redo suffix —
+``records_after(last_durable_index)`` — into its own multi-version store
+(state transfer; see :meth:`repro.core.replica.ReplicaManager.catch_up_from`).
+Replayed versions carry the *original* commit timestamps, so a recovered
+site's version chains are indistinguishable from a site that never crashed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
 from ..errors import DatabaseError
 from ..types import ObjectKey, ObjectValue, TransactionId
@@ -36,12 +41,18 @@ class UndoRecord:
 
 @dataclass(frozen=True)
 class RedoRecord:
-    """After-image of one committed write (used for catch-up replay)."""
+    """After-image of one committed write (used for catch-up replay).
+
+    ``committed_at`` is the virtual time at which the owning transaction
+    committed; replay installs versions with this original timestamp rather
+    than a bogus default.
+    """
 
     transaction_id: TransactionId
     key: ObjectKey
     value: ObjectValue
     index: int
+    committed_at: float = 0.0
 
 
 class UndoLog:
@@ -61,7 +72,11 @@ class UndoLog:
         index: int,
         at_time: float = 0.0,
     ) -> None:
-        """Apply a write eagerly and remember how to undo it."""
+        """Apply a write eagerly and remember how to undo it.
+
+        ``at_time`` must be the real (virtual) time of the write so that the
+        installed version carries a meaningful ``created_at``.
+        """
         previous = self._store.latest_version(key)
         self._records.setdefault(transaction_id, []).append(
             UndoRecord(
@@ -111,33 +126,77 @@ class RedoLog:
 
     def __init__(self) -> None:
         self._records: List[RedoRecord] = []
+        self._indices: Set[int] = set()
 
     def append_commit(
-        self, transaction_id: TransactionId, writes: Dict[ObjectKey, ObjectValue], index: int
+        self,
+        transaction_id: TransactionId,
+        writes: Dict[ObjectKey, ObjectValue],
+        index: int,
+        *,
+        committed_at: float = 0.0,
     ) -> None:
         """Record the after-images of one committed transaction."""
+        self._indices.add(index)
         for key, value in sorted(writes.items()):
             self._records.append(
-                RedoRecord(transaction_id=transaction_id, key=key, value=value, index=index)
+                RedoRecord(
+                    transaction_id=transaction_id,
+                    key=key,
+                    value=value,
+                    index=index,
+                    committed_at=committed_at,
+                )
             )
 
-    def records_after(self, index: int) -> List[RedoRecord]:
-        """Return the redo records with transaction index greater than ``index``."""
-        return [record for record in self._records if record.index > index]
+    def records_after(
+        self, index: int, *, up_to: Optional[int] = None
+    ) -> List[RedoRecord]:
+        """Return redo records with ``index < record.index`` (``<= up_to``).
 
-    def replay_into(self, store: MultiVersionStore, *, after_index: int) -> int:
+        ``up_to`` bounds the suffix: a recovering site transfers only the
+        donor's gap-free committed prefix and lets the broadcast layer deliver
+        everything beyond it, so transfer and delivery never overlap.
+        """
+        return [
+            record
+            for record in self._records
+            if record.index > index and (up_to is None or record.index <= up_to)
+        ]
+
+    def covers_index(self, index: int) -> bool:
+        """Whether a commit with ``index`` was appended to this log."""
+        return index in self._indices
+
+    def indices(self) -> Set[int]:
+        """The set of committed indices recorded in this log."""
+        return set(self._indices)
+
+    def replay_into(
+        self,
+        store: MultiVersionStore,
+        *,
+        after_index: int,
+        up_to: Optional[int] = None,
+    ) -> int:
         """Replay committed writes newer than ``after_index`` into ``store``.
 
-        Returns the number of writes replayed.  Used by a recovering site to
-        catch up from a peer's redo log (state transfer).
+        Returns the number of writes replayed; replayed versions keep their
+        original commit timestamps.  This is the bare state-transfer
+        substrate (store contents only); the full recovery protocol —
+        history/frontier transfer, scheduler invalidation, broadcast
+        covered-marking — is
+        :meth:`repro.core.replica.ReplicaManager.catch_up_from`, built on
+        :meth:`records_after`.
         """
         replayed = 0
-        for record in self.records_after(after_index):
+        for record in self.records_after(after_index, up_to=up_to):
             store.install(
                 record.key,
                 record.value,
                 created_index=record.index,
                 created_by=record.transaction_id,
+                created_at=record.committed_at,
             )
             replayed += 1
         return replayed

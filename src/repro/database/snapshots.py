@@ -84,6 +84,26 @@ class SnapshotManager:
             self._last_processed_index += 1
             self._pending_indices.discard(self._last_processed_index)
 
+    def force_frontier(self, index: int) -> None:
+        """Advance the frontier directly to ``index`` (crash recovery only).
+
+        A recovering site that completed a state transfer holds every commit
+        of the donor's gap-free prefix, including indices the donor observed
+        as ordered no-ops (duplicate deliveries, gap fills) that leave no
+        trace in any history.  Rebuilding the frontier by replaying
+        :meth:`advance` over history indices alone would stall below such
+        holes, so state transfer forces the frontier to the donor's value.
+        """
+        if index <= self._last_processed_index:
+            return
+        self._last_processed_index = index
+        self._pending_indices = {
+            pending for pending in self._pending_indices if pending > index
+        }
+        while self._last_processed_index + 1 in self._pending_indices:
+            self._last_processed_index += 1
+            self._pending_indices.discard(self._last_processed_index)
+
     # ------------------------------------------------------------- snapshots
     def next_query_index(self) -> float:
         """Return the index a query starting now receives (``i + 0.5``)."""

@@ -97,11 +97,19 @@ class FailureDetector:
         self._timer.stop()
 
     def reset(self) -> None:
-        """Forget all suspicion state (used when the owning site recovers)."""
+        """Forget all suspicion state (used when the owning site recovers).
+
+        Listeners are told about every suspicion being lifted — silently
+        clearing ``_suspected`` would leave failover logic driven by the
+        listeners believing peers are still down after this site recovered.
+        """
         now = self.kernel.now()
         for peer in list(self._last_heard):
             self._last_heard[peer] = now
+        previously_suspected = sorted(self._suspected)
         self._suspected.clear()
+        for peer in previously_suspected:
+            self._notify(peer, suspected=False)
 
     # --------------------------------------------------------------- queries
     def is_suspected(self, peer: SiteId) -> bool:

@@ -7,6 +7,7 @@ from .stats import (
     mean,
     percentile,
     ratio,
+    sample_stddev,
     stddev,
     summarize,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "mean",
     "percentile",
     "ratio",
+    "sample_stddev",
     "stddev",
     "summarize",
 ]

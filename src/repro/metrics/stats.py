@@ -58,6 +58,21 @@ def stddev(values: Sequence[float]) -> float:
     return math.sqrt(variance)
 
 
+def sample_stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (Bessel-corrected, n-1 denominator).
+
+    The estimator to use when the values are a sample of a larger population
+    — e.g. per-seed benchmark results — rather than the whole population;
+    the population formula biases the spread (and any interval built from
+    it) low.
+    """
+    if len(values) < 2:
+        return 0.0
+    sample_mean = mean(values)
+    variance = sum((value - sample_mean) ** 2 for value in values) / (len(values) - 1)
+    return math.sqrt(variance)
+
+
 def summarize(values: Iterable[float]) -> Summary:
     """Compute a :class:`Summary` of ``values``."""
     sample: List[float] = list(values)
@@ -76,10 +91,15 @@ def summarize(values: Iterable[float]) -> Summary:
 
 
 def confidence_interval_95(values: Sequence[float]) -> float:
-    """Half-width of a normal-approximation 95 % confidence interval."""
+    """Half-width of a normal-approximation 95 % confidence interval.
+
+    Uses the sample (n-1) standard deviation: the values are a sample, and
+    the population formula understates the interval, most severely for the
+    small per-seed sweeps the harness reports.
+    """
     if len(values) < 2:
         return 0.0
-    return 1.96 * stddev(values) / math.sqrt(len(values))
+    return 1.96 * sample_stddev(values) / math.sqrt(len(values))
 
 
 def ratio(numerator: float, denominator: float) -> float:

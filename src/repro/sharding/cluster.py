@@ -168,8 +168,14 @@ class ShardedCluster:
         parameters: Optional[Dict[str, Any]] = None,
         *,
         site_index: Optional[int] = None,
-    ) -> RoutedUpdate:
-        """Route an update transaction to its owning shard and submit it."""
+    ) -> Optional[RoutedUpdate]:
+        """Route an update transaction to a live site of its owning shard.
+
+        Crashed replicas are skipped (client failover).  When the whole
+        shard is down the submission is deferred and retried by the router
+        until a replica recovers; ``None`` is returned in that case, as the
+        transaction id is not known yet.
+        """
         return self.router.route_update(
             procedure_name, parameters, site_index=site_index
         )

@@ -77,13 +77,19 @@ class RoutedUpdate:
 
 @dataclass
 class ShardSubQuery:
-    """One per-shard leg of a fanned-out multi-class query."""
+    """One per-shard leg of a fanned-out multi-class query.
+
+    ``site_id``/``execution`` describe the *latest* dispatch: a sub-query
+    aborted by a replica crash is retried at another live replica, replacing
+    both fields (``execution`` is ``None`` only while a dispatch is deferred
+    because its shard has no live replica).
+    """
 
     shard_id: ShardId
     site_id: SiteId
     classes: List[ConflictClassId]
     parameters: Dict[str, Any]
-    execution: QueryExecution
+    execution: Optional[QueryExecution]
 
 
 @dataclass
@@ -150,6 +156,17 @@ class TransactionRouter:
         self.sharded_queries: List[ShardedQueryExecution] = []
         self._site_cursor: Dict[ShardId, int] = {}
         self._query_counter = 0
+        #: Client-side retry bookkeeping: submissions deferred because the
+        #: owning shard had no live replica, and sub-queries re-executed
+        #: because their replica crashed mid-snapshot-read.
+        self.deferred_submissions = 0
+        self.retried_subqueries = 0
+
+    #: Client retry cadence while a shard has no live replica, and a hard cap
+    #: on retries so a shard that never recovers (a scenario configuration
+    #: error) cannot keep the simulation alive forever.
+    RETRY_INTERVAL = 0.005
+    RETRY_LIMIT = 5000
 
     # --------------------------------------------------------------- updates
     def route_update(
@@ -158,12 +175,16 @@ class TransactionRouter:
         parameters: Optional[Dict[str, Any]] = None,
         *,
         site_index: Optional[int] = None,
-    ) -> RoutedUpdate:
-        """Submit an update transaction at a site of its owning shard.
+        _attempts: int = 0,
+    ) -> Optional[RoutedUpdate]:
+        """Submit an update transaction at a *live* site of its owning shard.
 
         ``site_index`` pins the submission to a specific replica of the shard
         (a client's home site); without it, submissions rotate round-robin
-        over the shard's replicas.
+        over the shard's replicas.  A crashed replica is skipped in favour of
+        the next live one (client failover); when the whole shard is dark the
+        submission is deferred and retried until a replica recovers —
+        ``None`` is returned for a deferred submission.
         """
         parameters = dict(parameters or {})
         procedure = self.registry.get(procedure_name)
@@ -178,6 +199,24 @@ class TransactionRouter:
             )
         shard_id = self.shard_map.shard_of_class(conflict_class)
         site_id = self._pick_site(shard_id, site_index)
+        if site_id is None:
+            if _attempts >= self.RETRY_LIMIT:
+                raise ShardingError(
+                    f"shard {shard_id} has had no live replica for "
+                    f"{self.RETRY_LIMIT} retries; giving up on {procedure_name!r}"
+                )
+            self.deferred_submissions += 1
+            self.cluster.kernel.schedule(
+                self.RETRY_INTERVAL,
+                lambda: self.route_update(
+                    procedure_name,
+                    parameters,
+                    site_index=site_index,
+                    _attempts=_attempts + 1,
+                ),
+                label=f"router-retry-update:{shard_id}",
+            )
+            return None
         transaction_id = self.cluster.shard(shard_id).submit(
             site_id, procedure_name, parameters
         )
@@ -243,29 +282,95 @@ class TransactionRouter:
             sub_parameters = self.subquery_parameters(
                 procedure_name, parameters, shard_classes
             )
-            site_id = self._pick_site(shard_id, site_index)
-            execution = self.cluster.shard(shard_id).replica(site_id).submit_query(
-                procedure_name, sub_parameters, on_complete=subquery_finished
+            entry = ShardSubQuery(
+                shard_id=shard_id,
+                site_id="",
+                classes=list(shard_classes),
+                parameters=dict(sub_parameters),
+                execution=None,
             )
-            sharded.subqueries.append(
-                ShardSubQuery(
-                    shard_id=shard_id,
-                    site_id=site_id,
-                    classes=list(shard_classes),
-                    parameters=dict(sub_parameters),
-                    execution=execution,
-                )
+            sharded.subqueries.append(entry)
+            self._dispatch_subquery(
+                sharded, entry, site_index, subquery_finished
             )
         return sharded
 
+    def _dispatch_subquery(
+        self,
+        sharded: ShardedQueryExecution,
+        entry: ShardSubQuery,
+        site_index: Optional[int],
+        subquery_finished: Callable[[QueryExecution], None],
+        *,
+        _attempts: int = 0,
+    ) -> None:
+        """Run (or re-run) one sub-query at a live replica of its shard.
+
+        A sub-query whose replica crashes mid-execution is aborted by the
+        crash; the router then retries it at another live replica of the
+        shard with a *fresh* snapshot index — exactly what a real client
+        library would do on a connection error.  When the shard has no live
+        replica at all, the dispatch is deferred and retried.
+        """
+        site_id = self._pick_site(entry.shard_id, site_index)
+        if site_id is None:
+            if _attempts >= self.RETRY_LIMIT:
+                raise ShardingError(
+                    f"shard {entry.shard_id} has had no live replica for "
+                    f"{self.RETRY_LIMIT} retries; giving up on sub-query of "
+                    f"{sharded.query_id}"
+                )
+            self.deferred_submissions += 1
+            self.cluster.kernel.schedule(
+                self.RETRY_INTERVAL,
+                lambda: self._dispatch_subquery(
+                    sharded,
+                    entry,
+                    site_index,
+                    subquery_finished,
+                    _attempts=_attempts + 1,
+                ),
+                label=f"router-retry-subquery:{entry.shard_id}",
+            )
+            return
+
+        def finished(execution: QueryExecution) -> None:
+            if execution.aborted:
+                self.retried_subqueries += 1
+                self._dispatch_subquery(
+                    sharded, entry, site_index, subquery_finished
+                )
+                return
+            subquery_finished(execution)
+
+        entry.site_id = site_id
+        entry.execution = (
+            self.cluster.shard(entry.shard_id)
+            .replica(site_id)
+            .submit_query(sharded.procedure_name, entry.parameters, on_complete=finished)
+        )
+
     # -------------------------------------------------------------- internal
-    def _pick_site(self, shard_id: ShardId, site_index: Optional[int]) -> SiteId:
-        sites = self.cluster.shard(shard_id).site_ids()
+    def _pick_site(self, shard_id: ShardId, site_index: Optional[int]) -> Optional[SiteId]:
+        """Choose a live replica of ``shard_id`` (or ``None`` if all are down).
+
+        A pinned ``site_index`` is the client's home replica: it is used when
+        live, otherwise the scan continues round the ring — client failover
+        to the next live replica.
+        """
+        shard = self.cluster.shard(shard_id)
+        sites = shard.site_ids()
         if site_index is not None:
-            return sites[site_index % len(sites)]
-        cursor = self._site_cursor.get(shard_id, 0)
-        self._site_cursor[shard_id] = cursor + 1
-        return sites[cursor % len(sites)]
+            start = site_index % len(sites)
+        else:
+            cursor = self._site_cursor.get(shard_id, 0)
+            self._site_cursor[shard_id] = cursor + 1
+            start = cursor % len(sites)
+        for offset in range(len(sites)):
+            candidate = sites[(start + offset) % len(sites)]
+            if shard.crash_manager.is_up(candidate):
+                return candidate
+        return None
 
 
 class ShardedClusterLike:

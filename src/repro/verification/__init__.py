@@ -1,10 +1,12 @@
-"""Correctness verification: 1-copy-serializability, broadcast properties, liveness."""
+"""Correctness verification: 1-copy-serializability, broadcast properties,
+liveness and crash-recovery completeness."""
 
 from .liveness import (
     LivenessReport,
     check_eventual_termination,
     check_sharded_eventual_termination,
 )
+from .recovery import RecoveryReport, check_recovery_completeness
 from .onecopy import (
     OneCopyReport,
     check_one_copy_serializability,
@@ -23,6 +25,8 @@ __all__ = [
     "LivenessReport",
     "check_eventual_termination",
     "check_sharded_eventual_termination",
+    "RecoveryReport",
+    "check_recovery_completeness",
     "OneCopyReport",
     "check_one_copy_serializability",
     "histories_conflict_equivalent",

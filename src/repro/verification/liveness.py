@@ -79,7 +79,12 @@ def _check_replica_group(
             continue
         for execution in replica.queries:
             report.queries_checked += 1
-            if execution.completed_at is None:
+            # A query killed by a crash of its site *terminated* — the client
+            # got an error and can retry elsewhere; only a query that neither
+            # completed nor aborted is a liveness violation.
+            if execution.completed_at is None and not getattr(
+                execution, "aborted", False
+            ):
                 report._violate(
                     f"{group}: query {execution.query_id} at {site_id} never "
                     "completed"

@@ -9,6 +9,15 @@ over the per-site delivery logs of a finished simulation run:
 * Local Agreement  — every Opt-delivered message was eventually TO-delivered.
 * Global Order     — all sites TO-deliver in the same order.
 * Local Order      — each site Opt-delivers a message before TO-delivering it.
+
+The paper states the agreement properties for *correct* sites.  With real
+crash semantics an endpoint carries two recovery artefacts the checker must
+honour: ``transfer_covered`` (messages whose transactions reached the site
+through redo-log state transfer instead of delivery — they count as
+delivered) and ``crash_voided`` (deliveries destroyed by a crash of the site
+— the crashed incarnation is excused from Local Agreement).  Synthetic
+gap-fill no-ops (``noop:<position>``) are protocol-internal and are excluded
+from the reference message set.
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..broadcast.interfaces import AtomicBroadcastEndpoint
+from ..broadcast.interfaces import AtomicBroadcastEndpoint, is_noop_fill_id
 from ..errors import VerificationError
 from ..types import MessageId, SiteId
 
@@ -61,15 +70,21 @@ def check_broadcast_properties(
             reference_set.update(endpoint.to_delivery_log)
     else:
         reference_set = set(expected_broadcasts)
+    reference_set = {
+        message_id for message_id in reference_set if not is_noop_fill_id(message_id)
+    }
     report.messages_checked = len(reference_set)
 
-    # Termination + Global Agreement (set equality of deliveries).
+    # Termination + Global Agreement (set equality of deliveries).  Messages
+    # a recovered site obtained through state transfer count as delivered.
     for site_id in site_ids:
         endpoint = endpoints[site_id]
+        covered = getattr(endpoint, "transfer_covered", set())
+        voided = getattr(endpoint, "crash_voided", set())
         opt_set = set(endpoint.opt_delivery_log)
         to_set = set(endpoint.to_delivery_log)
-        missing_opt = reference_set - opt_set
-        missing_to = reference_set - to_set
+        missing_opt = reference_set - opt_set - covered
+        missing_to = reference_set - to_set - covered
         if missing_opt:
             report.ok = False
             report.violations.append(
@@ -82,8 +97,10 @@ def check_broadcast_properties(
                 f"Termination/Agreement: site {site_id} never TO-delivered "
                 f"{len(missing_to)} messages (e.g. {sorted(missing_to)[:3]})"
             )
-        # Local Agreement: opt-delivered implies eventually TO-delivered.
-        never_confirmed = opt_set - to_set
+        # Local Agreement: opt-delivered implies eventually TO-delivered —
+        # unless the site crashed in between (the delivery was voided with
+        # the incarnation) or the transaction arrived via state transfer.
+        never_confirmed = opt_set - to_set - covered - voided
         if never_confirmed:
             report.ok = False
             report.violations.append(
@@ -123,6 +140,8 @@ def check_broadcast_properties(
             for position, message_id in enumerate(endpoint.opt_delivery_log)
         }
         for message_id in endpoint.to_delivery_log:
+            if is_noop_fill_id(message_id):
+                continue  # gap fills carry no payload and skip Opt-delivery
             if message_id not in opt_positions:
                 report.ok = False
                 report.violations.append(
