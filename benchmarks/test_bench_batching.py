@@ -1,0 +1,95 @@
+"""Benchmark: broadcast batching amortises the per-message ordering cost.
+
+KemmePAS99's central claim is that optimistic delivery lets the database
+process transactions at wire speed — but the wire itself serialises one
+data frame and one order frame per transaction, so at high submission rates
+the ordering traffic saturates the shared medium and committed throughput
+flatlines.  The batching layer coalesces the submissions of a time/size
+window into one ordered batch message; this benchmark sweeps the window
+against the submission rate and gates the acceptance criteria:
+
+* at the highest submission rate, committed-update throughput with batching
+  on is at least 1.5x the unbatched run;
+* 1-copy-serializability and the five OAB properties hold in every cell,
+  and the reorder-abort rate does not inflate;
+* one full chaos scenario (sequencer failover under load) passes its whole
+  verification stack — per-shard 1SR, cross-shard query snapshot
+  consistency, liveness, recovery completeness — with batching enabled.
+"""
+
+import pytest
+
+from repro.broadcast.batching import BatchingConfig
+from repro.chaos.scenarios import run_chaos_scenario
+from repro.harness import batching_ablation_experiment
+
+pytestmark = pytest.mark.bench
+
+WINDOWS_MS = (None, 0.5, 2.0)
+INTERVALS_MS = (4.0, 1.0, 0.25)
+
+
+def run_batching_ablation():
+    return batching_ablation_experiment(
+        batch_windows_ms=WINDOWS_MS,
+        submission_intervals_ms=INTERVALS_MS,
+        updates_per_site=40,
+    )
+
+
+@pytest.mark.benchmark(group="batching")
+def test_batching_multiplies_saturated_throughput(benchmark):
+    result = benchmark.pedantic(run_batching_ablation, iterations=1, rounds=1)
+
+    # Correctness is non-negotiable in every cell of the sweep.
+    for row in result.rows:
+        assert row["one_copy_ok"], row
+        assert row["broadcast_ok"], row
+        assert row["committed"] == 40 * 4
+
+    # The acceptance gate: at the highest submission rate the best batching
+    # window delivers >= 1.5x the unbatched committed throughput.
+    highest = [row for row in result.rows if row["interval_ms"] == min(INTERVALS_MS)]
+    off = next(row for row in highest if row["batching"] == "off")
+    best = max(
+        (row for row in highest if row["batching"] == "on"),
+        key=lambda row: row["throughput_tps"],
+    )
+    assert best["throughput_tps"] >= 1.5 * off["throughput_tps"], (
+        f"batching speedup {best['throughput_tps'] / off['throughput_tps']:.2f}x "
+        "below the 1.5x acceptance gate"
+    )
+
+    # Batching must not pay for throughput with aborts: the best batched run
+    # stays at or below the unbatched abort count (a batch is an atomic
+    # ordering unit, so coalescing reduces reordering opportunities).
+    assert best["reorder_aborts"] <= off["reorder_aborts"]
+
+    # At the most relaxed rate batching must do no harm (within 10%).
+    relaxed = [row for row in result.rows if row["interval_ms"] == max(INTERVALS_MS)]
+    relaxed_off = next(row for row in relaxed if row["batching"] == "off")
+    for row in relaxed:
+        assert row["throughput_tps"] >= 0.9 * relaxed_off["throughput_tps"]
+
+    benchmark.extra_info["table"] = result.format_table()
+    benchmark.extra_info["paper_reference"] = (
+        "Section 6 outlook: amortising the ordering cost over message "
+        "batches preserves the optimistic-delivery overlap while removing "
+        "the per-message frame bottleneck of the 10 Mbit/s testbed."
+    )
+
+
+def test_chaos_scenario_with_batching_enabled():
+    """Sequencer failover under load, with every endpoint batching.
+
+    The full verification stack must pass: per-shard 1SR, cross-shard query
+    snapshot consistency, eventual termination and recovery completeness —
+    proving the batch expansion/recovery protocol preserves crash semantics.
+    """
+    result = run_chaos_scenario(
+        "sequencer_failover_under_load",
+        seed=3,
+        batching=BatchingConfig(window=0.001, max_batch_size=8),
+    )
+    assert result.committed == result.submitted_updates
+    result.raise_if_violated()

@@ -26,6 +26,7 @@ Quickstart::
     print(cluster.replica("N3").database_contents())
 """
 
+from .broadcast.batching import BatchingConfig
 from .core import (
     BROADCAST_CONSERVATIVE,
     BROADCAST_OPTIMISTIC,
@@ -44,6 +45,7 @@ from .sharding import ShardMap, ShardedCluster, TransactionRouter
 __version__ = "1.1.0"
 
 __all__ = [
+    "BatchingConfig",
     "ClusterConfig",
     "ReplicatedDatabase",
     "ShardingConfig",

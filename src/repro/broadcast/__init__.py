@@ -1,6 +1,13 @@
 """Group-communication substrate: reliable, FIFO, conservative and optimistic
 atomic broadcast, plus consensus and the spontaneous-order measurement."""
 
+from .batching import (
+    Batch,
+    BatchingConfig,
+    BatchingEndpoint,
+    BatchMember,
+    unwrap_endpoint,
+)
 from .consensus import CONSENSUS_KIND, ConsensusMessage, ConsensusParticipant
 from .fifo import FIFO_KIND, FifoBroadcast
 from .interfaces import (
@@ -33,6 +40,11 @@ from .spontaneous import (
 )
 
 __all__ = [
+    "Batch",
+    "BatchingConfig",
+    "BatchingEndpoint",
+    "BatchMember",
+    "unwrap_endpoint",
     "ConsensusParticipant",
     "ConsensusMessage",
     "CONSENSUS_KIND",

@@ -16,9 +16,12 @@ transport's latency model) into a reusable chaos harness:
   signature is deterministic per seed.
 * :mod:`repro.chaos.scenarios` — a library of verified scenarios
   (sequencer failover under load, rolling per-shard crashes, whole-shard
-  outage + recovery, partition during optimistic delivery, latency spike),
-  each ending with per-shard 1SR, cross-shard query snapshot consistency
-  and eventual-termination liveness checks.
+  outage + recovery, partition during optimistic delivery, crash during
+  transaction execution, latency spike), each ending with per-shard 1SR,
+  cross-shard query snapshot consistency, eventual-termination and
+  recovery-completeness checks.  Every scenario accepts
+  ``batching=BatchingConfig(...)`` to replay under batched broadcast
+  endpoints.
 """
 
 from .orchestrator import (

@@ -223,6 +223,19 @@ class ChaosOrchestrator:
     injected until the simulation runs.  All randomness (the ``random_site``
     target) comes from the kernel's seeded ``"chaos.targets"`` stream, so the
     resolved schedule is a deterministic function of the cluster seed.
+
+    Binding contract
+    ----------------
+    ``cluster`` may be a flat :class:`~repro.core.cluster.ReplicatedDatabase`
+    or a :class:`~repro.sharding.cluster.ShardedCluster`; the orchestrator
+    adapts through an internal binding that resolves shard/role targets and
+    — crucially — routes crashes and recoveries through the *owning shard's*
+    crash manager, so the shard's own coordinator-failover and recovery
+    listeners fire exactly as they would for an organic fault.  Faults are
+    applied only through the cluster's public primitives (crash manager,
+    partition controller, latency model); the orchestrator never reaches
+    into protocol state, which is why every subsystem — including the
+    broadcast batching layer — is chaos-transparent by construction.
     """
 
     def __init__(self, cluster, plan: FaultPlan) -> None:

@@ -124,7 +124,40 @@ class FaultEvent:
 
 
 class FaultPlan:
-    """Builder composing fault events into one reproducible schedule."""
+    """Builder composing fault events into one reproducible schedule.
+
+    A plan is pure data until an orchestrator arms it; builder calls chain::
+
+        plan = (
+            FaultPlan("drill")
+            .crash(coordinator("S1"), at=0.030, duration=0.080)
+            .partition([site("S2:N3")], at=0.015, duration=0.050)
+            .latency_spike(0.005, at=0.020, duration=0.040)
+        )
+
+    Targets and roles
+    -----------------
+    Every event names *targets* that the orchestrator resolves to concrete
+    sites **at fire time**, not at build time:
+
+    * :func:`site` — a literal site id (``"S2:N3"``, or ``"N3"`` on a flat
+      cluster);
+    * :func:`shard` — every site of one shard;
+    * :func:`coordinator` — whichever site *currently* holds the
+      sequencer/coordinator role (of the cluster, or of the given shard), so
+      a plan can chase the role across failovers;
+    * :func:`random_site` — one site drawn from the orchestrator's seeded
+      ``chaos.targets`` stream, optionally restricted to a shard; the draw
+      is deterministic per cluster seed.
+
+    Durations and composition
+    -------------------------
+    ``duration=`` makes a fault self-reverting for the sites resolved at
+    fire time (see :class:`FaultEvent`).  Overlapping crash windows on one
+    site are reference-counted — the site recovers when the last window
+    closes — and overlapping latency spikes compose additively.  An explicit
+    :meth:`recover`/:meth:`heal` cancels the open windows of its targets.
+    """
 
     def __init__(self, name: str = "chaos") -> None:
         self.name = name

@@ -118,13 +118,17 @@ def build_chaos_cluster(
     updates_per_shard: int = DEFAULT_UPDATES_PER_SHARD,
     queries: int = DEFAULT_QUERIES,
     update_duration: float = 0.001,
+    batching=None,
 ) -> Tuple[ShardedCluster, ShardedWorkloadSpec]:
     """Build the standard cluster + workload spec used by the scenarios.
 
     ``echo_on_first_receipt`` is always enabled: with crashes injected
     mid-multicast, the reliable broadcast must echo messages for them to
     survive the failure of their origin (the paper's reliable-channel
-    assumption is about *correct* sites).
+    assumption is about *correct* sites).  ``batching`` optionally enables
+    the broadcast batching layer (a
+    :class:`~repro.broadcast.batching.BatchingConfig`), so every scenario
+    can be replayed against batched endpoints.
     """
     spec = ShardedWorkloadSpec(
         shard_count=shard_count,
@@ -141,6 +145,7 @@ def build_chaos_cluster(
         sites_per_shard=sites_per_shard,
         seed=seed,
         echo_on_first_receipt=True,
+        batching=batching,
     )
     cluster = ShardedCluster(
         config,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
+from ..broadcast.batching import BatchingEndpoint, unwrap_endpoint
 from ..broadcast.optimistic import OptimisticAtomicBroadcast
 from ..broadcast.sequencer import SequencerAtomicBroadcast
 from ..database.conflict import ConflictClassMap
@@ -72,6 +73,7 @@ class ReplicatedDatabase:
             config.latency_model,
             loss_probability=config.loss_probability,
             record_deliveries=config.record_deliveries,
+            medium_frame_time=config.medium_frame_time,
         )
         self.crash_manager = CrashManager(self.kernel, self.transport)
         self.replicas: Dict[SiteId, ReplicaManager] = {}
@@ -119,6 +121,8 @@ class ReplicatedDatabase:
                     echo_on_first_receipt=config.echo_on_first_receipt,
                     group=site_ids,
                 )
+            if config.batching is not None:
+                endpoint = BatchingEndpoint(self.kernel, endpoint, config.batching)
             self._broadcasts[site_id] = endpoint
             self.replicas[site_id] = ReplicaManager(
                 self.kernel,
@@ -132,9 +136,11 @@ class ReplicatedDatabase:
             )
         # A no-op gap fill is only safe when no site — up or down — holds the
         # position in its durable redo log (a down committer will push the
-        # commit via state transfer when it recovers).
+        # commit via state transfer when it recovers).  A batching wrapper
+        # translates batch positions to the member positions the redo logs
+        # record (its fill_safe setter installs the translated hook).
         for endpoint in self._broadcasts.values():
-            if isinstance(endpoint, OptimisticAtomicBroadcast):
+            if isinstance(unwrap_endpoint(endpoint), OptimisticAtomicBroadcast):
                 endpoint.fill_safe = self._position_uncommitted_everywhere
 
     def _position_uncommitted_everywhere(self, position: int) -> bool:
@@ -193,7 +199,8 @@ class ReplicatedDatabase:
         )
 
     def _point_endpoint_at_coordinator(self, endpoint) -> None:
-        if isinstance(endpoint, OptimisticAtomicBroadcast):
+        # A batching wrapper forwards either promotion to its inner endpoint.
+        if isinstance(unwrap_endpoint(endpoint), OptimisticAtomicBroadcast):
             endpoint.set_coordinator(self._current_coordinator)
         else:
             endpoint.set_sequencer(self._current_coordinator)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Optional
 
+from ..broadcast.batching import BatchingConfig
 from ..errors import ReplicationError
 from ..network.latency import LanMulticastLatency, LatencyModel
 
@@ -57,6 +58,18 @@ class ClusterConfig:
         gives each shard's replica group a distinct prefix (``"S1:"``,
         ``"S2:"``, ...) so that all groups can share one network transport
         without identifier collisions.
+    batching:
+        When given, every site's broadcast endpoint is wrapped in a
+        :class:`~repro.broadcast.batching.BatchingEndpoint` that coalesces
+        submissions within the configured time/size window into one ordered
+        batch message, amortising the per-message ordering cost at high
+        submission rates.  ``None`` (default) disables batching.
+    medium_frame_time:
+        Shared-medium frame serialisation time of the cluster's network (see
+        :class:`~repro.network.transport.NetworkTransport`).  ``0.0``
+        (default) models an uncontended medium; the batching ablation sets
+        the paper's ~10 Mbit/s Ethernet frame time to expose the
+        per-message ordering cost that batching amortises.
     """
 
     site_count: int = 4
@@ -71,6 +84,8 @@ class ClusterConfig:
     echo_on_first_receipt: bool = False
     record_deliveries: bool = False
     site_prefix: str = ""
+    batching: Optional[BatchingConfig] = None
+    medium_frame_time: float = 0.0
 
     def __post_init__(self) -> None:
         if self.site_count < 1:
@@ -79,6 +94,8 @@ class ClusterConfig:
             raise ReplicationError(
                 f"unknown broadcast {self.broadcast!r}; expected one of {BROADCAST_CHOICES}"
             )
+        if self.medium_frame_time < 0.0:
+            raise ReplicationError("medium frame time cannot be negative")
         if self.latency_model is None:
             self.latency_model = LanMulticastLatency()
 
@@ -117,6 +134,8 @@ class ShardingConfig:
     voting_timeout: float = 0.010
     echo_on_first_receipt: bool = False
     record_deliveries: bool = False
+    batching: Optional[BatchingConfig] = None
+    medium_frame_time: float = 0.0
 
     def __post_init__(self) -> None:
         if self.shard_count < 1:
@@ -127,6 +146,8 @@ class ShardingConfig:
             raise ReplicationError(
                 f"unknown broadcast {self.broadcast!r}; expected one of {BROADCAST_CHOICES}"
             )
+        if self.medium_frame_time < 0.0:
+            raise ReplicationError("medium frame time cannot be negative")
         if self.latency_model is None:
             self.latency_model = LanMulticastLatency()
 

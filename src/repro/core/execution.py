@@ -191,7 +191,7 @@ class ExecutionEngine:
         running.completion_event = self.kernel.schedule(
             duration,
             lambda: self._complete(transaction.transaction_id, result),
-            label=f"exec-complete:{transaction.transaction_id}@{self.site_id}",
+            label="exec-complete",
         )
 
     def _complete(self, transaction_id: TransactionId, result: object) -> None:
@@ -302,7 +302,7 @@ class QueryEngine:
             on_complete(execution)
 
         event = self.kernel.schedule(
-            duration, finish, label=f"query-complete:{execution.query_id}"
+            duration, finish, label="query-complete"
         )
         self._pending[execution.query_id] = _PendingQuery(
             execution=execution, event=event, on_complete=on_complete

@@ -3,6 +3,7 @@
 from .experiments import (
     RunSummary,
     ShardedRunSummary,
+    batching_ablation_experiment,
     chaos_resilience_experiment,
     conflict_experiment,
     figure1_spontaneous_order,
@@ -14,6 +15,13 @@ from .experiments import (
     run_standard_workload,
     scalability_experiment,
     sharded_scalability_experiment,
+)
+from .profiling import (
+    HotpathProfile,
+    hotspots,
+    profile_callback_cost,
+    profile_event_loop,
+    profile_workload,
 )
 from .reporting import ascii_plot, format_mapping, format_table
 from .results import ExperimentResult
@@ -29,6 +37,7 @@ __all__ = [
     "ShardedRunSummary",
     "run_sharded_workload",
     "sharded_scalability_experiment",
+    "batching_ablation_experiment",
     "chaos_resilience_experiment",
     "conflict_experiment",
     "figure1_spontaneous_order",
@@ -38,6 +47,11 @@ __all__ = [
     "query_experiment",
     "run_standard_workload",
     "scalability_experiment",
+    "HotpathProfile",
+    "hotspots",
+    "profile_callback_cost",
+    "profile_event_loop",
+    "profile_workload",
     "ascii_plot",
     "format_mapping",
     "format_table",

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from .experiments import (
+    batching_ablation_experiment,
     chaos_resilience_experiment,
     conflict_experiment,
     figure1_spontaneous_order,
@@ -33,6 +34,11 @@ FAST_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "queries": lambda: query_experiment(queries_per_site_values=(0, 20), updates_per_site=20),
     "scalability": lambda: scalability_experiment(site_counts=(2, 4, 6), updates_per_site=20),
     "chaos": lambda: chaos_resilience_experiment(seeds=(1, 2)),
+    "batching": lambda: batching_ablation_experiment(
+        batch_windows_ms=(None, 2.0),
+        submission_intervals_ms=(1.0, 0.25),
+        updates_per_site=30,
+    ),
 }
 
 #: Full-size experiment runners (used when regenerating EXPERIMENTS.md).
@@ -45,6 +51,7 @@ FULL_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "queries": query_experiment,
     "scalability": scalability_experiment,
     "chaos": chaos_resilience_experiment,
+    "batching": batching_ablation_experiment,
 }
 
 

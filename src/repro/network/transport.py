@@ -248,6 +248,10 @@ class NetworkTransport:
         if self._payload_size_estimator is not None:
             self.stats.bytes_estimate += self._payload_size_estimator(envelope)
 
+    # Event labels on the delivery paths are static strings: formatting a
+    # per-envelope label allocated on every single message and dominated the
+    # kernel hot-path profile; the scheduled closure still carries the full
+    # envelope for debugging.
     def _transmit(
         self, envelope: Envelope, destination: SiteId, *, shared_delay: Optional[float]
     ) -> None:
@@ -258,7 +262,7 @@ class NetworkTransport:
             self.kernel.schedule(
                 self.retransmit_delay,
                 lambda: self._transmit(envelope, destination, shared_delay=shared_delay),
-                label=f"retransmit:{envelope.envelope_id}",
+                label="net-retransmit",
             )
             return
         if shared_delay is None:
@@ -272,7 +276,7 @@ class NetworkTransport:
         self.kernel.schedule(
             delay,
             lambda: self._arrive(envelope, destination),
-            label=f"deliver:{envelope.envelope_id}->{destination}",
+            label="net-deliver",
         )
 
     def _arrive(self, envelope: Envelope, destination: SiteId) -> None:
@@ -283,7 +287,7 @@ class NetworkTransport:
             self.kernel.schedule(
                 self.retransmit_delay,
                 lambda: self._arrive(envelope, destination),
-                label=f"partition-hold:{envelope.envelope_id}->{destination}",
+                label="net-partition-hold",
             )
             return
         if not endpoint.up:
@@ -297,7 +301,7 @@ class NetworkTransport:
         self.kernel.schedule(
             0.0,
             lambda: self._arrive(envelope, destination),
-            label=f"flush:{envelope.envelope_id}->{destination}",
+            label="net-flush",
         )
 
     def _deliver(self, envelope: Envelope, endpoint: _SiteEndpoint) -> None:

@@ -14,9 +14,11 @@ total-order sequencing is no longer a global bottleneck:
 * :func:`aggregate_shard_metrics` — per-shard metrics aggregation.
 
 Correctness: single-class updates keep 1-copy-serializability *per shard*
-(checked by :func:`repro.verification.sharded.check_sharded_cluster`), and
-cross-shard queries read a combination of consistent per-shard snapshots
-that cannot violate serializability because no update spans shards.
+(checked by
+:func:`repro.verification.sharded.check_sharded_one_copy_serializability`),
+and cross-shard queries read a combination of consistent per-shard
+snapshots that cannot violate serializability because no update spans
+shards (:func:`repro.verification.sharded.check_cross_shard_query_consistency`).
 """
 
 from .cluster import ShardedCluster

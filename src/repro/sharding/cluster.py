@@ -85,6 +85,7 @@ class ShardedCluster:
             config.latency_model,
             loss_probability=config.loss_probability,
             record_deliveries=config.record_deliveries,
+            medium_frame_time=config.medium_frame_time,
         )
 
         self.shards: Dict[ShardId, ReplicatedDatabase] = {}

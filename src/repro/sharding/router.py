@@ -136,6 +136,24 @@ class TransactionRouter:
     merge:
         Combines the per-shard partial results into the merged result
         (defaults to summation, matching the standard scan queries).
+
+    Contract
+    --------
+    * **Updates** go to exactly one shard — the owner of the procedure's
+      conflict class — and to a *live* replica of that shard: crashed
+      replicas are skipped (client failover), and when the whole shard is
+      dark the submission is parked and retried on recovery
+      (:meth:`route_update` then returns ``None``, since no transaction id
+      exists yet).
+    * **Queries** are split by owning shard; one snapshot sub-query runs
+      per shard and the merged result is released only when every leg has
+      completed.  A sub-query killed by a replica crash is retried at
+      another live replica of the same shard, so a routed query terminates
+      whenever its shards eventually have a live member.
+    * The merged result is consistent because each leg reads a committed
+      snapshot prefix of its shard and no update spans shards; the
+      verification layer re-checks this on every run
+      (:mod:`repro.verification.sharded`).
     """
 
     def __init__(

@@ -20,7 +20,25 @@ from ..types import ConflictClassId, ObjectKey, ShardId
 
 
 class ShardMap:
-    """Static assignment of conflict classes to shards."""
+    """Static assignment of conflict classes to shards.
+
+    Contract
+    --------
+    * Every conflict class is owned by exactly one shard (:meth:`assign`
+      rejects re-assignment); :class:`~repro.sharding.cluster.ShardedCluster`
+      additionally validates that every class of the global conflict map is
+      assigned to a configured shard.
+    * Keys route through their owning class
+      (:meth:`shard_of_key` via the
+      :class:`~repro.database.conflict.ConflictClassMap`), so a key's shard
+      is always the shard of the single class allowed to update it — the
+      property that makes per-shard total orders compose into a globally
+      serializable execution.
+    * The map is immutable while the system runs (dynamic rebalancing is a
+      ROADMAP item); :meth:`contiguous` keeps classes a multi-class query
+      typically scans together on few shards, :meth:`round_robin` spreads
+      hot neighbouring classes apart.
+    """
 
     def __init__(self) -> None:
         self._shard_of_class: Dict[ConflictClassId, ShardId] = {}

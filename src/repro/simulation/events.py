@@ -1,11 +1,29 @@
-"""Event objects and the event queue used by the simulation kernel."""
+"""Event objects and the event queue used by the simulation kernel.
+
+This module is the hottest code in the repository: every network envelope,
+timer, transaction completion and chaos fault passes through one
+:class:`Event` and one heap operation.  The implementation therefore trades
+a little convenience for speed — measured by
+``benchmarks/test_bench_kernel_hotpath.py`` and the profiling harness in
+:mod:`repro.harness.profiling`:
+
+* :class:`Event` is a hand-rolled ``__slots__`` class (not a dataclass):
+  slot storage roughly halves the per-event memory and removes the
+  ``__dict__`` lookup from every attribute access in the run loop.
+* Ordering is a manual ``__lt__`` comparing ``time`` first with an early
+  exit instead of the tuple-building comparison a ``dataclass(order=True)``
+  generates; almost all comparisons differ in ``time``, so the common path
+  is one float compare.
+* :meth:`EventQueue.pop_due` pops the next live event *and* applies the
+  ``until`` horizon in one heap traversal, replacing the previous
+  peek-then-pop double walk in the kernel loop.
+"""
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from heapq import heappop, heappush
+from typing import Callable, List, Optional
 
 from ..errors import SimulationError
 
@@ -14,25 +32,75 @@ from ..errors import SimulationError
 EventCallback = Callable[[], None]
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events are ordered by ``(time, priority, sequence)``.  The sequence number
-    breaks ties deterministically in insertion order, which keeps simulations
-    reproducible even when many events share a timestamp.
+    Events are ordered by ``(time, priority, sequence)``.  The sequence
+    number breaks ties deterministically in insertion order, which keeps
+    simulations reproducible even when many events share a timestamp.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: EventCallback = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "sequence", "callback", "label", "cancelled", "in_queue")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: EventCallback,
+        label: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.label = label
+        self.cancelled = cancelled
+        #: Whether the event still sits in its queue's heap.  Cleared when
+        #: the event is popped (fired), so a later ``cancel`` of a handle
+        #: the holder kept around cannot corrupt the live-event count.
+        self.in_queue = True
 
     def cancel(self) -> None:
         """Mark the event as cancelled; the kernel will skip it."""
         self.cancelled = True
+
+    # Manual comparisons: the heap only needs __lt__, the equality operator
+    # mirrors the old dataclass behaviour (same ordering key = same event
+    # slot).  ``time`` differs in almost every comparison, so it is checked
+    # first with an early exit.
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.sequence < other.sequence
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.priority == other.priority
+            and self.sequence == other.sequence
+        )
+
+    def __le__(self, other: "Event") -> bool:
+        return self == other or self < other
+
+    def __gt__(self, other: "Event") -> bool:
+        return not self <= other
+
+    def __ge__(self, other: "Event") -> bool:
+        return not self < other
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.priority, self.sequence))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time!r}, prio={self.priority}, seq={self.sequence}, label={self.label!r}{state})"
 
 
 class EventQueue:
@@ -43,7 +111,7 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: List[Event] = []
         self._counter = itertools.count()
         self._live = 0
 
@@ -58,39 +126,56 @@ class EventQueue:
         """Schedule ``callback`` at ``time`` and return the event handle."""
         if not callable(callback):
             raise SimulationError("event callback must be callable")
-        event = Event(
-            time=time,
-            priority=priority,
-            sequence=next(self._counter),
-            callback=callback,
-            label=label,
-        )
-        heapq.heappush(self._heap, event)
+        event = Event(time, priority, next(self._counter), callback, label)
+        heappush(self._heap, event)
         self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or ``None`` if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        return self.pop_due(None)
+
+    def pop_due(self, until: Optional[float]) -> Optional[Event]:
+        """Pop the next live event whose time is at most ``until``.
+
+        A single heap traversal that discards cancelled entries, checks the
+        time horizon against the heap top and removes the event — the hot
+        path of :meth:`SimulationKernel.run`.  Returns ``None`` when the
+        queue is empty or the next live event lies beyond ``until`` (the
+        event is left in the queue in that case).
+        """
+        heap = self._heap
+        while heap:
+            event = heap[0]
             if event.cancelled:
+                heappop(heap).in_queue = False
                 continue
+            if until is not None and event.time > until:
+                return None
+            heappop(heap)
+            event.in_queue = False
             self._live -= 1
             return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heappop(heap).in_queue = False
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0].time
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event."""
-        if not event.cancelled:
-            event.cancel()
+        """Cancel a previously scheduled event.
+
+        Cancelling an event that already fired (or was already cancelled) is
+        a no-op — holders may keep a handle past the event's execution, e.g.
+        a flush timer cancelling itself from its own callback.
+        """
+        if event.in_queue and not event.cancelled:
+            event.cancelled = True
             self._live -= 1
 
     def __len__(self) -> int:

@@ -105,28 +105,29 @@ class SimulationKernel:
         self._running = True
         self._stopped = False
         executed = 0
+        # Hot loop: bind everything once.  ``pop_due`` applies the ``until``
+        # horizon while popping (one heap traversal per event), the clock is
+        # advanced through the bound method, and the trace-hook loop is
+        # skipped entirely in the common no-hooks case.
+        pop_due = self._queue.pop_due
+        advance = self.clock.advance_to
+        hooks = self._trace_hooks
         try:
-            while True:
-                if self._stopped:
-                    break
+            while not self._stopped:
                 if max_events is not None and executed >= max_events:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                event = self._queue.pop()
+                event = pop_due(until)
                 if event is None:
                     break
-                self.clock.advance_to(event.time)
-                for hook in self._trace_hooks:
-                    hook(event)
+                advance(event.time)
+                if hooks:
+                    for hook in hooks:
+                        hook(event)
                 event.callback()
                 executed += 1
-                self._events_executed += 1
         finally:
             self._running = False
+            self._events_executed += executed
         if until is not None and self.clock.now() < until:
             self.clock.advance_to(until)
         return executed

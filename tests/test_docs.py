@@ -1,0 +1,42 @@
+"""Tier-1 guard for the docs site.
+
+Runs the same checker as the CI docs job (``tools/check_docs.py``): every
+internal link in ``README.md``/``docs/*.md`` must resolve, and every fenced
+``>>>`` example in ``docs/*.md`` must pass under doctest.  Keeping this in
+the tier-1 suite means a stale example or a broken cross-link fails locally
+before it fails in CI.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_checker():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_docs_site_exists():
+    for page in ("architecture.md", "recovery.md", "experiments.md"):
+        assert (REPO_ROOT / "docs" / page).is_file(), f"docs/{page} is missing"
+
+
+def test_docs_links_and_doctests_are_clean():
+    completed = run_checker()
+    assert completed.returncode == 0, (
+        f"docs checker failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    assert "docs OK" in completed.stdout

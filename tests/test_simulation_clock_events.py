@@ -96,6 +96,20 @@ class TestEventQueue:
         queue.cancel(event)
         assert len(queue) == 0
 
+    def test_cancel_after_pop_is_a_noop(self):
+        # A holder may keep an event handle past its execution (e.g. a flush
+        # timer cancelling itself from its own callback); cancelling a fired
+        # event must not drive the live count negative.
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop() is event
+        queue.cancel(event)
+        assert len(queue) == 1
+        assert queue.pop() is not None
+        queue.cancel(event)
+        assert len(queue) == 0
+
     def test_peek_time_skips_cancelled(self):
         queue = EventQueue()
         event = queue.push(1.0, lambda: None)
