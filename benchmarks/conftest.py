@@ -1,0 +1,63 @@
+"""Benchmark fixtures: every bench run lands in the observability store.
+
+The ``bench_record`` fixture is how benchmarks persist their results: it
+records the run in the SQLite results store (``REPRO_RESULTS_DB``, default
+``bench_results/results.sqlite``) with config hash, git rev and seed, writes
+the ``BENCH_<name>.json`` artifact next to the store, and — when the
+benchmark names gated metrics — asserts the run against the baseline
+distribution of earlier like-for-like runs.  Gates apply only to
+*deterministic* (virtual-time) metrics; wall-clock throughput numbers are
+recorded for the trend report but never gated, so machine noise cannot
+redden the suite.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.observability import PerfGate, ResultsStore
+
+#: Environment variable overriding the results-store location.
+RESULTS_DB_ENV = "REPRO_RESULTS_DB"
+DEFAULT_RESULTS_DB = os.path.join("bench_results", "results.sqlite")
+
+
+@pytest.fixture(scope="session")
+def results_store():
+    """Session-wide results store (location from ``REPRO_RESULTS_DB``)."""
+    path = os.environ.get(RESULTS_DB_ENV, DEFAULT_RESULTS_DB)
+    store = ResultsStore(path)
+    yield store
+    store.close()
+
+
+@pytest.fixture
+def bench_record(results_store):
+    """Record one benchmark run: store + artifact + baseline gate.
+
+    Usage::
+
+        record = bench_record(
+            "figure1_spontaneous_order",
+            config={...},                # hashed; defines the baseline group
+            metrics={...},               # scalar results
+            seed=1,
+            gates={"spontaneously_ordered_pct_at_4ms": True},  # higher=better
+        )
+    """
+
+    def _record(name, *, config, metrics, seed=None, gates=None):
+        record = results_store.record_run(
+            name, config=config, metrics=metrics, seed=seed
+        )
+        if results_store.path == ":memory:":
+            artifact_dir = "bench_results"
+        else:
+            artifact_dir = str(Path(results_store.path).parent)
+        results_store.write_artifact(record, artifact_dir)
+        if gates:
+            PerfGate(results_store).assert_within_baseline(record, gates)
+        return record
+
+    return _record

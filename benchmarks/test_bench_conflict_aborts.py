@@ -12,6 +12,8 @@ import pytest
 
 from repro.harness import conflict_experiment
 
+pytestmark = pytest.mark.bench
+
 CLASS_COUNTS = (1, 4, 16)
 
 

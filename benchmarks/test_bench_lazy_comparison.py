@@ -13,6 +13,8 @@ import pytest
 
 from repro.harness import lazy_comparison_experiment
 
+pytestmark = pytest.mark.bench
+
 
 def run_lazy_comparison():
     return lazy_comparison_experiment(updates_per_site=40)

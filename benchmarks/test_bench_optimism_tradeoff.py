@@ -12,6 +12,8 @@ import pytest
 
 from repro.harness import optimism_tradeoff_experiment
 
+pytestmark = pytest.mark.bench
+
 JITTER_US = (30.0, 400.0, 3000.0)
 
 

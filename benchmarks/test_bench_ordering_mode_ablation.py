@@ -17,6 +17,8 @@ from repro.core.config import BROADCAST_OPTIMISTIC, ClusterConfig
 from repro.harness import run_standard_workload
 from repro.workloads import WorkloadSpec
 
+pytestmark = pytest.mark.bench
+
 
 def run_mode(ordering_mode: str):
     spec = WorkloadSpec(

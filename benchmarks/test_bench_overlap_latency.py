@@ -12,6 +12,8 @@ import pytest
 
 from repro.harness import overlap_experiment
 
+pytestmark = pytest.mark.bench
+
 EXECUTION_TIMES_MS = (0.5, 2.0, 6.0)
 
 

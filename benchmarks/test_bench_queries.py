@@ -11,6 +11,8 @@ import pytest
 
 from repro.harness import query_experiment
 
+pytestmark = pytest.mark.bench
+
 QUERY_LOADS = (0, 20, 50)
 
 

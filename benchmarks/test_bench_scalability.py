@@ -10,6 +10,8 @@ import pytest
 
 from repro.harness import scalability_experiment
 
+pytestmark = pytest.mark.bench
+
 SITE_COUNTS = (2, 4, 6)
 
 

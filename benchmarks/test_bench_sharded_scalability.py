@@ -13,6 +13,8 @@ import pytest
 
 from repro.harness import sharded_scalability_experiment
 
+pytestmark = pytest.mark.bench
+
 SHARD_COUNTS = (1, 2, 4, 8)
 
 

@@ -163,6 +163,15 @@ class BatchingEndpoint(AtomicBroadcastEndpoint):
             broadcast_at=self.kernel.now(),
         )
         self.stats.broadcasts += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                member.broadcast_at,
+                "batch_enqueue",
+                self.site_id,
+                getattr(payload, "transaction_id", None),
+                message_id=member.message_id,
+                pending=len(self._pending) + 1,
+            )
         self._pending.append(member)
         if len(self._pending) >= self.config.max_batch_size:
             self._flush()
@@ -258,6 +267,10 @@ class BatchingEndpoint(AtomicBroadcastEndpoint):
             return
         members = tuple(self._pending)
         self._pending.clear()
+        if self.tracer is not None:
+            self.tracer.record(
+                self.kernel.now(), "batch_flush", self.site_id, size=len(members)
+            )
         self.inner.broadcast(Batch(origin=self.site_id, members=members))
 
     # ----------------------------------------------------- member deliveries

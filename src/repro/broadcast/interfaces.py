@@ -124,6 +124,9 @@ class AtomicBroadcastEndpoint(abc.ABC):
     def __init__(self, site_id: SiteId) -> None:
         self.site_id = site_id
         self.stats = BroadcastStats()
+        #: Optional :class:`~repro.observability.trace.TransactionTracer`;
+        #: ``None`` (the default) keeps the endpoint trace-free.
+        self.tracer = None
         self._opt_listeners: List[DeliveryListener] = []
         self._to_listeners: List[DeliveryListener] = []
         #: Per-site log of delivered messages, in delivery order.  Used by the

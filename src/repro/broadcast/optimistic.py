@@ -222,6 +222,14 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
             payload=payload,
             broadcast_at=self.kernel.now(),
         )
+        if self.tracer is not None:
+            self.tracer.record(
+                self.kernel.now(),
+                "broadcast_send",
+                self.site_id,
+                getattr(payload, "transaction_id", None),
+                message_id=message_id,
+            )
         self._data_channel.broadcast(data)
         return message_id
 

@@ -119,6 +119,7 @@ def build_chaos_cluster(
     queries: int = DEFAULT_QUERIES,
     update_duration: float = 0.001,
     batching=None,
+    tracer=None,
 ) -> Tuple[ShardedCluster, ShardedWorkloadSpec]:
     """Build the standard cluster + workload spec used by the scenarios.
 
@@ -128,7 +129,9 @@ def build_chaos_cluster(
     assumption is about *correct* sites).  ``batching`` optionally enables
     the broadcast batching layer (a
     :class:`~repro.broadcast.batching.BatchingConfig`), so every scenario
-    can be replayed against batched endpoints.
+    can be replayed against batched endpoints.  ``tracer`` optionally attaches
+    a :class:`~repro.observability.trace.TransactionTracer` to every shard, so
+    a chaos run can be traced end to end (traces are same-seed reproducible).
     """
     spec = ShardedWorkloadSpec(
         shard_count=shard_count,
@@ -146,6 +149,7 @@ def build_chaos_cluster(
         seed=seed,
         echo_on_first_receipt=True,
         batching=batching,
+        tracer=tracer,
     )
     cluster = ShardedCluster(
         config,

@@ -76,6 +76,7 @@ class ReplicatedDatabase:
             medium_frame_time=config.medium_frame_time,
         )
         self.crash_manager = CrashManager(self.kernel, self.transport)
+        self.crash_manager.tracer = config.tracer
         self.replicas: Dict[SiteId, ReplicaManager] = {}
         self._dispatchers: Dict[SiteId, SiteDispatcher] = {}
         self._broadcasts: Dict[SiteId, Any] = {}
@@ -121,8 +122,10 @@ class ReplicatedDatabase:
                     echo_on_first_receipt=config.echo_on_first_receipt,
                     group=site_ids,
                 )
+            endpoint.tracer = config.tracer
             if config.batching is not None:
                 endpoint = BatchingEndpoint(self.kernel, endpoint, config.batching)
+                endpoint.tracer = config.tracer
             self._broadcasts[site_id] = endpoint
             self.replicas[site_id] = ReplicaManager(
                 self.kernel,
@@ -133,6 +136,7 @@ class ReplicatedDatabase:
                 cpu_count=config.cpu_count,
                 duration_scale=config.duration_scale,
                 initial_data=dict(initial_data or {}),
+                tracer=config.tracer,
             )
         # A no-op gap fill is only safe when no site — up or down — holds the
         # position in its durable redo log (a down committer will push the

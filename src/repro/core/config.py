@@ -8,6 +8,7 @@ from typing import Optional
 from ..broadcast.batching import BatchingConfig
 from ..errors import ReplicationError
 from ..network.latency import LanMulticastLatency, LatencyModel
+from ..observability.trace import TransactionTracer
 
 #: Broadcast protocol choices for the cluster.
 BROADCAST_OPTIMISTIC = "optimistic"
@@ -70,6 +71,12 @@ class ClusterConfig:
         (default) models an uncontended medium; the batching ablation sets
         the paper's ~10 Mbit/s Ethernet frame time to expose the
         per-message ordering cost that batching amortises.
+    tracer:
+        When given, a :class:`~repro.observability.trace.TransactionTracer`
+        receives per-transaction spans and events from the broadcast
+        endpoints, scheduler, replica managers and crash manager.  ``None``
+        (default) disables tracing; the disabled path is a single attribute
+        check per hook.
     """
 
     site_count: int = 4
@@ -86,6 +93,7 @@ class ClusterConfig:
     site_prefix: str = ""
     batching: Optional[BatchingConfig] = None
     medium_frame_time: float = 0.0
+    tracer: Optional[TransactionTracer] = None
 
     def __post_init__(self) -> None:
         if self.site_count < 1:
@@ -136,6 +144,7 @@ class ShardingConfig:
     record_deliveries: bool = False
     batching: Optional[BatchingConfig] = None
     medium_frame_time: float = 0.0
+    tracer: Optional[TransactionTracer] = None
 
     def __post_init__(self) -> None:
         if self.shard_count < 1:

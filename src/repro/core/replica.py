@@ -73,6 +73,7 @@ class ReplicaManager:
         cpu_count: Optional[int] = None,
         duration_scale: float = 1.0,
         initial_data: Optional[Dict[ObjectKey, ObjectValue]] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         from .scheduler import OTPScheduler  # local import to avoid a cycle
 
@@ -81,6 +82,7 @@ class ReplicaManager:
         self.broadcast = broadcast
         self.registry = registry
         self.conflict_map = conflict_map
+        self.tracer = tracer
         self.metrics = MetricsCollector(f"replica:{site_id}")
         self.store = MultiVersionStore()
         if initial_data:
@@ -104,6 +106,7 @@ class ReplicaManager:
             self.engine,
             commit_callback=self._on_commit,
             metrics=self.metrics,
+            tracer=tracer,
         )
         self.submitted: Dict[TransactionId, SubmittedRequest] = {}
         self.queries: List[QueryExecution] = []
@@ -173,6 +176,16 @@ class ReplicaManager:
             request=request, submitted_at=self.kernel.now()
         )
         self.metrics.increment("transactions_submitted")
+        if self.tracer is not None:
+            self.tracer.record(
+                self.kernel.now(),
+                "submit",
+                self.site_id,
+                transaction_id,
+                procedure=procedure_name,
+                conflict_class=request.conflict_class,
+            )
+            self.tracer.begin(self.kernel.now(), "lifecycle", self.site_id, transaction_id)
         self.broadcast.broadcast(request)
         return transaction_id
 
@@ -229,6 +242,14 @@ class ReplicaManager:
         self._message_ids.setdefault(transaction_id, message.message_id)
         transaction = Transaction(request=request, site_id=self.site_id)
         self.metrics.increment("messages_opt_delivered")
+        if self.tracer is not None:
+            self.tracer.record(
+                self.kernel.now(),
+                "opt_deliver",
+                self.site_id,
+                transaction_id,
+                message_id=message.message_id,
+            )
         self.scheduler.on_opt_deliver(transaction)
 
     def _on_to_deliver(self, message: BroadcastMessage) -> None:
@@ -242,6 +263,13 @@ class ReplicaManager:
             # crash: nothing to execute, but the snapshot frontier must pass.
             self.snapshot_manager.advance(message.definitive_position)
             self.metrics.increment("noop_positions_filled")
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.kernel.now(),
+                    "noop_fill",
+                    self.site_id,
+                    position=message.definitive_position,
+                )
             return
         if not isinstance(payload, TransactionRequest):
             return
@@ -262,6 +290,14 @@ class ReplicaManager:
         self.metrics.increment("messages_to_delivered")
         if message.ordering_delay is not None:
             self.metrics.record_latency("ordering_delay", message.ordering_delay)
+        if self.tracer is not None:
+            self.tracer.record(
+                self.kernel.now(),
+                "to_deliver",
+                self.site_id,
+                transaction_id,
+                position=message.definitive_position,
+            )
         self.scheduler.on_to_deliver(transaction_id, message.definitive_position)
 
     # ----------------------------------------------------------------- commit
@@ -314,6 +350,19 @@ class ReplicaManager:
             )
         )
         self.metrics.increment("commits")
+        if self.tracer is not None:
+            self.tracer.record(
+                now,
+                "commit",
+                self.site_id,
+                transaction.transaction_id,
+                position=transaction.global_index,
+                reorder_aborts=transaction.reorder_aborts,
+            )
+            self.tracer.end_if_open(
+                now, "lifecycle", self.site_id, transaction.transaction_id,
+                outcome="committed", position=transaction.global_index,
+            )
         if transaction.reorder_aborts:
             self.metrics.increment("commits_after_reorder")
         self.metrics.record_latency(
@@ -365,6 +414,16 @@ class ReplicaManager:
         self.metrics.increment("crashes")
         self.metrics.increment("inflight_lost_in_crash", lost)
         self.metrics.increment("queries_killed_in_crash", aborted_queries)
+        if self.tracer is not None:
+            closed = self.tracer.close_site_spans(now, self.site_id, outcome="crash")
+            self.tracer.record(
+                now,
+                "crash",
+                self.site_id,
+                inflight_lost=lost,
+                queries_killed=aborted_queries,
+                spans_closed=closed,
+            )
 
     def on_recover(self, peers: Iterable["ReplicaManager"]) -> None:
         """Recover from a crash: catch up, rejoin the group, reopen.
@@ -403,6 +462,13 @@ class ReplicaManager:
                 peer.catch_up_from(self)
         self._open = True
         self.metrics.increment("recoveries")
+        if self.tracer is not None:
+            self.tracer.record(
+                self.kernel.now(),
+                "recover",
+                self.site_id,
+                commit_frontier=self.commit_frontier,
+            )
         for transaction_id, submitted in sorted(self.submitted.items()):
             if submitted.committed_at is not None:
                 continue

@@ -46,11 +46,14 @@ class OTPScheduler:
         *,
         commit_callback: CommitCallback,
         metrics: Optional[MetricsCollector] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self.kernel = kernel
         self.engine = engine
         self._commit_callback = commit_callback
         self.metrics = metrics or MetricsCollector("otp-scheduler")
+        #: Optional :class:`~repro.observability.trace.TransactionTracer`.
+        self.tracer = tracer
         self._queues: Dict[ConflictClassId, ClassQueue] = {}
         self._by_id: Dict[TransactionId, Transaction] = {}
 
@@ -91,6 +94,7 @@ class OTPScheduler:
         transaction.mark_opt_delivered(self.kernel.now())         # S2
         queue.append(transaction)                                  # S1
         self.metrics.increment("transactions_opt_delivered")
+        self.metrics.set_gauge("class_queue_depth", len(queue))
         if queue.first() is transaction:                           # S3
             self._submit(transaction)                              # S4
 
@@ -111,6 +115,14 @@ class OTPScheduler:
                 f"head of queue {transaction.conflict_class}"
             )
         self.metrics.increment("executions_completed")
+        if self.tracer is not None:
+            self.tracer.end_if_open(
+                self.kernel.now(),
+                "execute",
+                self.engine.site_id,
+                transaction.transaction_id,
+                outcome="executed",
+            )
         if transaction.delivery_state is DeliveryState.COMMITTABLE:   # E1
             self._commit(transaction, queue)                          # E2-E3
         # E5: Transaction.complete_execution already switched the execution
@@ -198,6 +210,14 @@ class OTPScheduler:
         self.engine.cancel(transaction)
         queue.remove(transaction)
         self.metrics.increment("transactions_discarded")
+        if self.tracer is not None:
+            self.tracer.end_if_open(
+                self.kernel.now(),
+                "execute",
+                self.engine.site_id,
+                transaction_id,
+                outcome="discarded",
+            )
         if was_head:
             successor = queue.first()
             if (
@@ -228,6 +248,22 @@ class OTPScheduler:
                 self.engine.cancel(transaction)
                 transaction.abort_for_reordering()
                 self.metrics.increment("reorder_aborts")
+                if self.tracer is not None:
+                    now = self.kernel.now()
+                    self.tracer.end_if_open(
+                        now,
+                        "execute",
+                        self.engine.site_id,
+                        transaction.transaction_id,
+                        outcome="recovery_invalidation",
+                    )
+                    self.tracer.record(
+                        now,
+                        "recovery_invalidation",
+                        self.engine.site_id,
+                        transaction.transaction_id,
+                        conflict_class=conflict_class,
+                    )
                 invalidated += 1
         head = queue.first()
         if (
@@ -242,6 +278,14 @@ class OTPScheduler:
     def _submit(self, transaction: Transaction) -> None:
         """Submit one execution attempt of the queue-head transaction."""
         self.metrics.increment("executions_submitted")
+        if self.tracer is not None:
+            self.tracer.begin(
+                self.kernel.now(),
+                "execute",
+                self.engine.site_id,
+                transaction.transaction_id,
+                conflict_class=transaction.conflict_class,
+            )
         self.engine.submit(transaction, self.on_execution_complete)
 
     def _abort_for_reordering(self, transaction: Transaction) -> None:
@@ -249,6 +293,22 @@ class OTPScheduler:
         self.engine.cancel(transaction)
         transaction.abort_for_reordering()
         self.metrics.increment("reorder_aborts")
+        if self.tracer is not None:
+            now = self.kernel.now()
+            self.tracer.end_if_open(
+                now,
+                "execute",
+                self.engine.site_id,
+                transaction.transaction_id,
+                outcome="reorder_abort",
+            )
+            self.tracer.record(
+                now,
+                "reorder_abort",
+                self.engine.site_id,
+                transaction.transaction_id,
+                conflict_class=transaction.conflict_class,
+            )
 
     def _commit(self, transaction: Transaction, queue: ClassQueue) -> None:
         """E2/CC3: commit the queue head, then E3/CC4: run the next one."""

@@ -65,6 +65,9 @@ class CrashManager:
         self._listeners: List[LivenessListener] = []
         self._up: Dict[SiteId, bool] = {}
         self._crash_counts: Dict[SiteId, int] = {}
+        #: Optional :class:`~repro.observability.trace.TransactionTracer`;
+        #: records ``site_down``/``site_up`` liveness events when attached.
+        self.tracer = None
 
     # --------------------------------------------------------------- queries
     def is_up(self, site: SiteId) -> bool:
@@ -109,6 +112,13 @@ class CrashManager:
         self._up[event.site] = event.up
         if not event.up:
             self._crash_counts[event.site] = self._crash_counts.get(event.site, 0) + 1
+        if self.tracer is not None:
+            self.tracer.record(
+                self.kernel.now(),
+                "site_up" if event.up else "site_down",
+                event.site,
+                crash_count=self._crash_counts.get(event.site, 0),
+            )
         self.transport.set_site_up(event.site, event.up)
         for listener in self._listeners:
             listener(event.site, event.up)

@@ -216,10 +216,20 @@ def figure1_spontaneous_order(
         kernel.run_until_idle()
         sequences = receive_sequences(transport.delivery_log)
         report = order_agreement(sequences)
+        # Opt/TO divergence: take the definitive total order to be the
+        # coordinator's receive sequence (exactly what the sequencer modes
+        # do) and measure the fraction of messages every other site received
+        # at a different position — the work CC8 would have to repair.
+        definitive = sequences.get(sites[0], [])
+        divergences = [
+            tentative_vs_definitive_mismatch(sequences.get(site, []), definitive)
+            for site in sites[1:]
+        ]
         result.add_row(
             interval_ms=interval_ms,
             spontaneously_ordered_pct=report.same_position_percentage,
             pairwise_agreement_pct=100.0 * report.pairwise_agreement_fraction,
+            opt_to_divergence_pct=100.0 * mean(divergences),
             messages=report.message_count,
         )
     result.notes.append(

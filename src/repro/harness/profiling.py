@@ -208,21 +208,104 @@ def format_report(profiles: List[HotpathProfile]) -> str:
     return "\n".join(profile.format_row() for profile in profiles)
 
 
-def main() -> None:  # pragma: no cover - CLI convenience
-    """Print the standard hot-path report (used when tuning the kernel)."""
+def standard_profiles(seed: int = 11) -> List[HotpathProfile]:
+    """The standard hot-path suite: floor, callback cost, full stack, batched."""
     from ..broadcast.batching import BatchingConfig
 
-    profiles = [
-        profile_event_loop(),
-        profile_callback_cost(),
-        profile_workload(),
-        profile_workload(batching=BatchingConfig(window=0.002, max_batch_size=16)),
+    return [
+        profile_event_loop(seed=seed),
+        profile_callback_cost(seed=seed),
+        profile_workload(seed=seed),
+        profile_workload(
+            seed=seed, batching=BatchingConfig(window=0.002, max_batch_size=16)
+        ),
     ]
+
+
+def profiles_to_metrics(profiles: List[HotpathProfile]) -> dict:
+    """Flatten profiles into scalar metrics for the results store."""
+    metrics: dict = {}
+    for profile in profiles:
+        key = profile.label.replace(" ", "_").replace("(", "").replace(")", "")
+        metrics[f"{key}_events"] = float(profile.events)
+        metrics[f"{key}_events_per_second"] = profile.events_per_second
+        metrics[f"{key}_us_per_event"] = profile.microseconds_per_event
+    return metrics
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Print the standard hot-path report (used when tuning the kernel).
+
+    ``--json`` prints the run as JSON instead of the plain-text table, and
+    ``--results-db PATH`` records it in the observability results store —
+    the same provenance-stamped record (config hash, git rev, seed) every
+    benchmark emits, so profiling runs land in the perf trajectory too.
+    """
+    import argparse
+    import json as json_module
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.profiling",
+        description="Profile the simulation-kernel hot path.",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON on stdout"
+    )
+    parser.add_argument(
+        "--results-db",
+        default=None,
+        metavar="PATH",
+        help="record the run in this SQLite results store (see repro.observability)",
+    )
+    parser.add_argument("--seed", type=int, default=11, help="workload seed")
+    parser.add_argument(
+        "--hotspots",
+        action="store_true",
+        help="also profile the full-stack workload under cProfile (text mode only)",
+    )
+    options = parser.parse_args(argv)
+
+    profiles = standard_profiles(seed=options.seed)
+    metrics = profiles_to_metrics(profiles)
+    record_dict = None
+    if options.results_db is not None:
+        from ..observability.store import ResultsStore
+
+        store = ResultsStore(options.results_db)
+        try:
+            record = store.record_run(
+                "kernel_hotpath_profile",
+                config={"seed": options.seed, "suite": "standard_profiles"},
+                metrics=metrics,
+                seed=options.seed,
+            )
+            store.write_artifact(record)
+        finally:
+            store.close()
+        record_dict = record.to_dict()
+
+    if options.json:
+        payload = record_dict if record_dict is not None else {"metrics": metrics}
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
     print(format_report(profiles))
-    print("\nTop hotspots of the full-stack workload:")
-    for location, calls, cumulative in hotspots(lambda: profile_workload(), top=12):
-        print(f"  {cumulative:8.3f}s {calls:>10,}x  {location}")
+    if record_dict is not None:
+        print(
+            f"\nrecorded as run {record_dict['run_id']} "
+            f"(config {record_dict['config_hash']}, rev {record_dict['git_rev']}) "
+            f"in {options.results_db}"
+        )
+    if options.hotspots:
+        print("\nTop hotspots of the full-stack workload:")
+        for location, calls, cumulative in hotspots(
+            lambda: profile_workload(seed=options.seed), top=12
+        ):
+            print(f"  {cumulative:8.3f}s {calls:>10,}x  {location}")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    import sys
+
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Metric collection and summary statistics."""
 
-from .collector import Counter, LatencyRecorder, MetricsCollector
+from .collector import Counter, Gauge, LatencyRecorder, MetricsCollector
 from .stats import (
     Summary,
     confidence_interval_95,
@@ -14,6 +14,7 @@ from .stats import (
 
 __all__ = [
     "Counter",
+    "Gauge",
     "LatencyRecorder",
     "MetricsCollector",
     "Summary",

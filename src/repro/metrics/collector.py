@@ -42,13 +42,32 @@ class LatencyRecorder:
         return len(self.samples)
 
 
+class Gauge:
+    """A named instantaneous value that remembers its high-water mark."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.maximum = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the current value (tracking the maximum ever seen)."""
+        self.value = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value}, max={self.maximum})"
+
+
 class MetricsCollector:
-    """A registry of counters and latency recorders for one component."""
+    """A registry of counters, latency recorders and gauges for one component."""
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._counters: Dict[str, Counter] = {}
         self._latencies: Dict[str, LatencyRecorder] = {}
+        self._gauges: Dict[str, Gauge] = {}
 
     # -------------------------------------------------------------- counters
     def counter(self, name: str) -> Counter:
@@ -82,13 +101,33 @@ class MetricsCollector:
         recorder = self._latencies.get(name)
         return recorder.summary() if recorder else Summary.empty()
 
+    # ---------------------------------------------------------------- gauges
+    def gauge(self, name: str) -> Gauge:
+        """Return (creating if needed) the gauge called ``name``."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge called ``name`` to ``value``."""
+        self.gauge(name).set(value)
+
+    def gauge_max(self, name: str) -> float:
+        """High-water mark of the gauge (0.0 if never set)."""
+        gauge = self._gauges.get(name)
+        return gauge.maximum if gauge else 0.0
+
     # ---------------------------------------------------------------- export
     def snapshot(self) -> Dict[str, object]:
-        """Return all counters and latency summaries as a plain dictionary."""
+        """Return all counters, latency summaries and gauges as a dictionary."""
         return {
             "counters": {name: counter.value for name, counter in sorted(self._counters.items())},
             "latencies": {
                 name: recorder.summary() for name, recorder in sorted(self._latencies.items())
+            },
+            "gauges": {
+                name: {"value": gauge.value, "max": gauge.maximum}
+                for name, gauge in sorted(self._gauges.items())
             },
         }
 

@@ -18,12 +18,13 @@ class Summary:
     maximum: float
     p50: float
     p90: float
+    p95: float
     p99: float
 
     @staticmethod
     def empty() -> "Summary":
         """A summary describing an empty sample."""
-        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
 
 
 def percentile(values: Sequence[float], fraction: float) -> float:
@@ -86,6 +87,7 @@ def summarize(values: Iterable[float]) -> Summary:
         maximum=max(sample),
         p50=percentile(sample, 0.50),
         p90=percentile(sample, 0.90),
+        p95=percentile(sample, 0.95),
         p99=percentile(sample, 0.99),
     )
 

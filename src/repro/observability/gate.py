@@ -1,0 +1,179 @@
+"""Regression gating against the stored baseline distribution.
+
+Hard-coded perf thresholds rot: they are tuned to one machine and one code
+state, and every change re-negotiates them by hand.  :class:`PerfGate`
+replaces them with a statistical gate over the results store — a fresh run
+passes when each gated metric lies within the band implied by the baseline
+*distribution* of earlier runs of the **same configuration** (matched by
+config hash).
+
+The band around the baseline mean is::
+
+    mean ± max(sigmas * sample_stddev, slack_fraction * |mean|)
+
+The stddev term adapts to noisy metrics; the slack-fraction term keeps a
+floor for near-constant ones (a deterministic metric with zero variance
+still tolerates small drift instead of failing on the 10th decimal).  Each
+metric gates in one direction — ``higher_is_better`` decides which tail is
+a regression.
+
+With fewer than ``min_samples`` baseline runs there is nothing to compare
+against, so the gate **passes in seeding mode**: the first runs on a fresh
+store populate the baseline rather than fail it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..metrics.stats import mean, stddev
+from .store import ResultsStore, RunRecord
+
+#: Baseline runs needed before the gate starts enforcing.
+DEFAULT_MIN_SAMPLES = 3
+#: Width of the stddev band.
+DEFAULT_SIGMAS = 3.0
+#: Relative slack floor for low-variance metrics.
+DEFAULT_SLACK_FRACTION = 0.10
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Verdict for one gated metric."""
+
+    metric: str
+    value: float
+    passed: bool
+    #: ``"seeding"`` (baseline too small), ``"within"`` or ``"regressed"``.
+    status: str
+    baseline_count: int
+    baseline_mean: Optional[float] = None
+    threshold: Optional[float] = None
+    higher_is_better: bool = True
+
+    def describe(self) -> str:
+        """One human-readable line for reports and assertion messages."""
+        if self.status == "seeding":
+            return (
+                f"{self.metric}={self.value:.6g}: seeding baseline "
+                f"({self.baseline_count} prior run(s))"
+            )
+        direction = ">=" if self.higher_is_better else "<="
+        verdict = "ok" if self.passed else "REGRESSED"
+        return (
+            f"{self.metric}={self.value:.6g}: {verdict} "
+            f"(needs {direction} {self.threshold:.6g}; baseline mean "
+            f"{self.baseline_mean:.6g} over {self.baseline_count} run(s))"
+        )
+
+
+def gate_against_history(
+    metric: str,
+    value: float,
+    history: Sequence[float],
+    *,
+    higher_is_better: bool = True,
+    min_samples: int = DEFAULT_MIN_SAMPLES,
+    sigmas: float = DEFAULT_SIGMAS,
+    slack_fraction: float = DEFAULT_SLACK_FRACTION,
+) -> GateResult:
+    """Gate one value against a baseline sample (pure function, no store)."""
+    count = len(history)
+    if count < min_samples:
+        return GateResult(
+            metric=metric,
+            value=value,
+            passed=True,
+            status="seeding",
+            baseline_count=count,
+            higher_is_better=higher_is_better,
+        )
+    baseline_mean = mean(list(history))
+    band = max(sigmas * stddev(list(history)), slack_fraction * abs(baseline_mean))
+    if higher_is_better:
+        threshold = baseline_mean - band
+        passed = value >= threshold
+    else:
+        threshold = baseline_mean + band
+        passed = value <= threshold
+    return GateResult(
+        metric=metric,
+        value=value,
+        passed=passed,
+        status="within" if passed else "regressed",
+        baseline_count=count,
+        baseline_mean=baseline_mean,
+        threshold=threshold,
+        higher_is_better=higher_is_better,
+    )
+
+
+class PerfGate:
+    """Gates fresh runs against their like-for-like history in a store."""
+
+    def __init__(
+        self,
+        store: ResultsStore,
+        *,
+        min_samples: int = DEFAULT_MIN_SAMPLES,
+        sigmas: float = DEFAULT_SIGMAS,
+        slack_fraction: float = DEFAULT_SLACK_FRACTION,
+    ) -> None:
+        self.store = store
+        self.min_samples = min_samples
+        self.sigmas = sigmas
+        self.slack_fraction = slack_fraction
+
+    def check(
+        self,
+        record: RunRecord,
+        gated_metrics: Mapping[str, bool],
+    ) -> List[GateResult]:
+        """Gate ``record`` on each ``metric -> higher_is_better`` entry.
+
+        The baseline is every stored run with the same name **and config
+        hash**, excluding the run under test — changing a benchmark's
+        configuration automatically starts a fresh baseline.
+        """
+        results: List[GateResult] = []
+        for metric, higher_is_better in sorted(gated_metrics.items()):
+            if metric not in record.metrics:
+                continue
+            history = self.store.metric_history(
+                record.name,
+                metric,
+                config_hash=record.config_hash,
+                exclude_run_id=record.run_id,
+            )
+            results.append(
+                gate_against_history(
+                    metric,
+                    record.metrics[metric],
+                    history,
+                    higher_is_better=higher_is_better,
+                    min_samples=self.min_samples,
+                    sigmas=self.sigmas,
+                    slack_fraction=self.slack_fraction,
+                )
+            )
+        return results
+
+    def assert_within_baseline(
+        self, record: RunRecord, gated_metrics: Mapping[str, bool]
+    ) -> List[GateResult]:
+        """:meth:`check`, raising ``AssertionError`` on any regression."""
+        results = self.check(record, gated_metrics)
+        failures = [result for result in results if not result.passed]
+        if failures:
+            details = "\n  ".join(result.describe() for result in failures)
+            raise AssertionError(
+                f"perf gate failed for {record.name} "
+                f"(config {record.config_hash}):\n  {details}"
+            )
+        return results
+
+
+def failures(results: Sequence[GateResult]) -> Dict[str, GateResult]:
+    """The failing subset of gate results, keyed by metric name."""
+    return {result.metric: result for result in results if not result.passed}

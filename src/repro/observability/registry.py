@@ -1,0 +1,252 @@
+"""A metrics registry unifying per-site collectors into one namespace.
+
+The replica managers each own a :class:`~repro.metrics.collector.MetricsCollector`;
+flat clusters and sharded clusters used to aggregate them with ad-hoc loops
+in several places.  :class:`MetricsRegistry` replaces those loops: every
+collector registers under a set of labels (``shard=S1, site=S1:N1``), and
+instruments are read back by name with optional label filters — the same
+query works on a flat cluster (labelled ``shard=global``) and on a sharded
+one, so both report one consistent metric namespace.
+
+On top of the raw instruments, :func:`derive_metrics` computes the numbers
+the paper cares about:
+
+* ``opt_to_divergence_rate`` — fraction of messages whose optimistic
+  delivery position differs from the definitive one (the event that forces
+  CC8 reordering work; the paper's claim is that it is rare on a LAN);
+* per-phase latency breakdown (p50/p95/p99) of the client path;
+* abort counters grouped by cause (reordering, crash loss, recovery
+  invalidation);
+* class-queue depth high-water marks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..broadcast.spontaneous import tentative_vs_definitive_mismatch
+from ..metrics.collector import MetricsCollector
+from ..metrics.stats import Summary, mean, summarize
+from ..types import SiteId
+
+#: Counter names grouped under one abort cause (derived metric).
+ABORT_CAUSES: Dict[str, Tuple[str, ...]] = {
+    "reordering": ("reorder_aborts",),
+    "crash_loss": ("transactions_lost_in_crash", "queries_aborted_by_crash"),
+    "recovery_invalidation": ("transactions_discarded",),
+}
+
+#: Latency instruments reported in the per-phase breakdown, in client order.
+PHASE_LATENCIES: Tuple[str, ...] = (
+    "client_commit_latency",
+    "ordering_delay",
+    "opt_deliver_to_commit",
+    "to_deliver_to_commit",
+    "query_latency",
+)
+
+
+@dataclass
+class _Entry:
+    labels: Dict[str, str]
+    collector: MetricsCollector
+
+
+class MetricsRegistry:
+    """Named per-site/per-shard instruments behind one query surface."""
+
+    def __init__(self) -> None:
+        self._entries: List[_Entry] = []
+
+    # ---------------------------------------------------------- registration
+    def register(self, collector: MetricsCollector, **labels: str) -> None:
+        """Register one collector under ``labels`` (e.g. ``shard=, site=``)."""
+        self._entries.append(_Entry(labels={k: str(v) for k, v in labels.items()}, collector=collector))
+
+    def collectors(self, **labels: str) -> List[MetricsCollector]:
+        """Collectors whose labels match every given ``key=value`` filter."""
+        return [entry.collector for entry in self._matching(labels)]
+
+    def label_values(self, key: str) -> List[str]:
+        """Distinct values of one label key, sorted (e.g. all shard ids)."""
+        return sorted({entry.labels[key] for entry in self._entries if key in entry.labels})
+
+    def _matching(self, labels: Mapping[str, str]) -> Iterable[_Entry]:
+        wanted = {k: str(v) for k, v in labels.items()}
+        for entry in self._entries:
+            if all(entry.labels.get(key) == value for key, value in wanted.items()):
+                yield entry
+
+    # -------------------------------------------------------------- counters
+    def counter_total(self, name: str, **labels: str) -> int:
+        """Sum of the counter ``name`` across matching collectors."""
+        return sum(entry.collector.count(name) for entry in self._matching(labels))
+
+    def counter_totals(self, **labels: str) -> Dict[str, int]:
+        """Every counter name summed across matching collectors."""
+        totals: Dict[str, int] = {}
+        for entry in self._matching(labels):
+            for name, value in entry.collector.counters().items():
+                totals[name] = totals.get(name, 0) + value
+        return dict(sorted(totals.items()))
+
+    # ------------------------------------------------------------- latencies
+    def latency_samples(self, name: str, **labels: str) -> List[float]:
+        """All samples of the latency instrument ``name``, merged."""
+        samples: List[float] = []
+        for entry in self._matching(labels):
+            samples.extend(entry.collector.latency(name).samples)
+        return samples
+
+    def latency_breakdown(self, name: str, **labels: str) -> Summary:
+        """p50/p95/p99 summary of one latency instrument across collectors."""
+        return summarize(self.latency_samples(name, **labels))
+
+    # ---------------------------------------------------------------- gauges
+    def gauge_high_water(self, name: str, **labels: str) -> float:
+        """Largest high-water mark of the gauge ``name`` across collectors."""
+        marks = [
+            entry.collector.gauge(name).maximum for entry in self._matching(labels)
+        ]
+        return max(marks) if marks else 0.0
+
+    # ----------------------------------------------------------------- export
+    def instrument_names(self) -> Dict[str, List[str]]:
+        """All instrument names by type (counters / latencies / gauges)."""
+        counters: set = set()
+        latencies: set = set()
+        gauges: set = set()
+        for entry in self._entries:
+            snapshot = entry.collector.snapshot()
+            counters.update(snapshot["counters"])
+            latencies.update(snapshot["latencies"])
+            gauges.update(snapshot.get("gauges", {}))
+        return {
+            "counters": sorted(counters),
+            "latencies": sorted(latencies),
+            "gauges": sorted(gauges),
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """One flat namespace: ``shard=S1/site=S1:N1/counter/commits`` -> value.
+
+        Latency instruments export their :class:`Summary`; the namespace is
+        identical for flat (``shard=global``) and sharded clusters.
+        """
+        flat: Dict[str, object] = {}
+        for entry in self._entries:
+            prefix = "/".join(
+                f"{key}={value}" for key, value in sorted(entry.labels.items())
+            )
+            snapshot = entry.collector.snapshot()
+            for name, value in snapshot["counters"].items():
+                flat[f"{prefix}/counter/{name}"] = value
+            for name, summary in snapshot["latencies"].items():
+                flat[f"{prefix}/latency/{name}"] = summary
+            for name, gauge in snapshot.get("gauges", {}).items():
+                flat[f"{prefix}/gauge/{name}"] = gauge
+        return dict(sorted(flat.items()))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ---------------------------------------------------------------------------
+# Registry construction from cluster facades
+# ---------------------------------------------------------------------------
+
+#: Shard label applied to flat (unsharded) clusters so the namespace is
+#: identical in both deployment shapes.
+FLAT_SHARD_LABEL = "global"
+
+
+def build_registry(cluster: Any) -> MetricsRegistry:
+    """Build a registry covering every replica of a cluster facade.
+
+    Accepts either a :class:`~repro.core.cluster.ReplicatedDatabase` (sites
+    labelled ``shard=global``) or a
+    :class:`~repro.sharding.cluster.ShardedCluster` (sites labelled with
+    their owning shard).
+    """
+    registry = MetricsRegistry()
+    if hasattr(cluster, "shards"):
+        for shard_id, shard in cluster.shards.items():
+            for site_id, replica in shard.replicas.items():
+                registry.register(replica.metrics, shard=shard_id, site=site_id)
+    else:
+        for site_id, replica in cluster.replicas.items():
+            registry.register(replica.metrics, shard=FLAT_SHARD_LABEL, site=site_id)
+    return registry
+
+
+def _endpoints_by_site(cluster: Any) -> Dict[SiteId, Any]:
+    if hasattr(cluster, "shards"):
+        endpoints: Dict[SiteId, Any] = {}
+        for shard in cluster.shards.values():
+            for site_id in shard.site_ids():
+                endpoints[site_id] = shard.broadcast_endpoint(site_id)
+        return endpoints
+    return {site_id: cluster.broadcast_endpoint(site_id) for site_id in cluster.site_ids()}
+
+
+# ---------------------------------------------------------------------------
+# Derived metrics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DerivedMetrics:
+    """The paper-level numbers computed from the raw instruments."""
+
+    #: Mean fraction of messages opt-delivered at a different position than
+    #: their definitive one, across sites (0.0 = spontaneous order held).
+    opt_to_divergence_rate: float
+    divergence_by_site: Dict[SiteId, float]
+    #: p50/p95/p99 summaries of each client-path phase (see PHASE_LATENCIES).
+    phase_breakdown: Dict[str, Summary]
+    aborts_by_cause: Dict[str, int]
+    max_class_queue_depth: float
+    commits: int
+
+    def to_metrics(self) -> Dict[str, float]:
+        """Flatten into scalar metrics for the results store."""
+        flat: Dict[str, float] = {
+            "opt_to_divergence_rate": self.opt_to_divergence_rate,
+            "max_class_queue_depth": self.max_class_queue_depth,
+            "commits": float(self.commits),
+        }
+        for cause, count in self.aborts_by_cause.items():
+            flat[f"aborts_{cause}"] = float(count)
+        for phase, summary in self.phase_breakdown.items():
+            if summary.count == 0:
+                continue
+            flat[f"{phase}_p50"] = summary.p50
+            flat[f"{phase}_p95"] = summary.p95
+            flat[f"{phase}_p99"] = summary.p99
+        return flat
+
+
+def derive_metrics(cluster: Any, registry: Optional[MetricsRegistry] = None) -> DerivedMetrics:
+    """Compute :class:`DerivedMetrics` for a flat or sharded cluster."""
+    if registry is None:
+        registry = build_registry(cluster)
+    divergence_by_site = {
+        site_id: tentative_vs_definitive_mismatch(
+            endpoint.opt_delivery_log, endpoint.to_delivery_log
+        )
+        for site_id, endpoint in sorted(_endpoints_by_site(cluster).items())
+    }
+    return DerivedMetrics(
+        opt_to_divergence_rate=mean(list(divergence_by_site.values())),
+        divergence_by_site=divergence_by_site,
+        phase_breakdown={
+            name: registry.latency_breakdown(name) for name in PHASE_LATENCIES
+        },
+        aborts_by_cause={
+            cause: sum(registry.counter_total(counter) for counter in counters)
+            for cause, counters in ABORT_CAUSES.items()
+        },
+        max_class_queue_depth=registry.gauge_high_water("class_queue_depth"),
+        commits=registry.counter_total("commits"),
+    )

@@ -1,0 +1,272 @@
+"""Provenance-stamped persistent results store (SQLite).
+
+Benchmarks used to print-and-forget; this module makes every experiment and
+benchmark run a durable record.  Each run is stamped with
+
+* a **config hash** — SHA-256 over the canonical JSON of the run's
+  parameters, so only like-for-like runs are ever compared;
+* the **git revision** the code ran at;
+* the **seed** that makes the run reproducible;
+* its scalar **metrics**.
+
+:meth:`ResultsStore.record_run` persists the record and
+:meth:`ResultsStore.write_artifact` emits a ``BENCH_<name>.json`` file per
+run (the artifact CI uploads).  :mod:`repro.observability.gate` compares a
+fresh run against the stored baseline *distribution* instead of hard-coded
+thresholds, and :mod:`repro.observability.trend` prints the trajectory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import sqlite3
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from ..errors import SimulationError
+
+#: Default on-disk location (relative to the working directory).
+DEFAULT_RESULTS_DIR = "bench_results"
+DEFAULT_DB_FILENAME = "results.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id      INTEGER PRIMARY KEY AUTOINCREMENT,
+    name        TEXT NOT NULL,
+    created_at  REAL NOT NULL,
+    config_hash TEXT NOT NULL,
+    git_rev     TEXT NOT NULL,
+    seed        INTEGER,
+    config_json TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS run_metrics (
+    run_id INTEGER NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
+    name   TEXT NOT NULL,
+    value  REAL NOT NULL,
+    PRIMARY KEY (run_id, name)
+);
+CREATE INDEX IF NOT EXISTS idx_runs_name_hash ON runs(name, config_hash);
+"""
+
+
+class ResultsStoreError(SimulationError):
+    """Raised on invalid store operations (bad run names, unknown runs)."""
+
+
+def config_hash(config: Mapping) -> str:
+    """Deterministic short hash of a run configuration.
+
+    Canonical JSON (sorted keys, ``repr`` fallback for non-JSON values)
+    hashed with SHA-256, truncated to 12 hex chars — enough to separate
+    configurations, short enough to read in a report.
+    """
+    canonical = json.dumps(dict(config), sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+_GIT_REV_CACHE: Dict[str, str] = {}
+
+
+def current_git_rev(cwd: Optional[str] = None) -> str:
+    """The short git revision of ``cwd`` (cached; ``"unknown"`` outside git)."""
+    key = cwd or "."
+    if key not in _GIT_REV_CACHE:
+        try:
+            completed = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=cwd,
+                capture_output=True,
+                text=True,
+                timeout=5,
+            )
+            rev = completed.stdout.strip()
+            _GIT_REV_CACHE[key] = rev if completed.returncode == 0 and rev else "unknown"
+        except (OSError, subprocess.TimeoutExpired):
+            _GIT_REV_CACHE[key] = "unknown"
+    return _GIT_REV_CACHE[key]
+
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One persisted run: provenance stamp + metrics."""
+
+    run_id: int
+    name: str
+    created_at: float
+    config_hash: str
+    git_rev: str
+    seed: Optional[int]
+    config: Dict[str, object] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (the BENCH artifact body)."""
+        return {
+            "run_id": self.run_id,
+            "name": self.name,
+            "created_at": self.created_at,
+            "config_hash": self.config_hash,
+            "git_rev": self.git_rev,
+            "seed": self.seed,
+            "config": self.config,
+            "metrics": self.metrics,
+        }
+
+
+class ResultsStore:
+    """SQLite-backed store of experiment/benchmark runs.
+
+    ``path`` may be ``":memory:"`` (tests, doctests) or a filesystem path
+    whose parent directories are created on demand.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._connection = sqlite3.connect(self.path)
+        self._connection.executescript(_SCHEMA)
+        self._connection.commit()
+
+    # ------------------------------------------------------------ recording
+    def record_run(
+        self,
+        name: str,
+        *,
+        config: Mapping,
+        metrics: Mapping[str, float],
+        seed: Optional[int] = None,
+        git_rev: Optional[str] = None,
+        created_at: Optional[float] = None,
+    ) -> RunRecord:
+        """Persist one run and return its :class:`RunRecord`."""
+        if not _NAME_PATTERN.match(name):
+            raise ResultsStoreError(
+                f"invalid run name {name!r}: use letters, digits, '_', '-', '.'"
+            )
+        clean_metrics = {key: float(value) for key, value in metrics.items()}
+        record_hash = config_hash(config)
+        rev = git_rev if git_rev is not None else current_git_rev()
+        stamp = created_at if created_at is not None else time.time()
+        cursor = self._connection.execute(
+            "INSERT INTO runs (name, created_at, config_hash, git_rev, seed, config_json)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                name,
+                stamp,
+                record_hash,
+                rev,
+                seed,
+                json.dumps(dict(config), sort_keys=True, default=repr),
+            ),
+        )
+        run_id = int(cursor.lastrowid)
+        self._connection.executemany(
+            "INSERT INTO run_metrics (run_id, name, value) VALUES (?, ?, ?)",
+            [(run_id, key, value) for key, value in sorted(clean_metrics.items())],
+        )
+        self._connection.commit()
+        return RunRecord(
+            run_id=run_id,
+            name=name,
+            created_at=stamp,
+            config_hash=record_hash,
+            git_rev=rev,
+            seed=seed,
+            config=dict(config),
+            metrics=clean_metrics,
+        )
+
+    # -------------------------------------------------------------- queries
+    def runs(self, name: Optional[str] = None) -> List[RunRecord]:
+        """All runs (optionally of one benchmark), oldest first."""
+        query = (
+            "SELECT run_id, name, created_at, config_hash, git_rev, seed, config_json"
+            " FROM runs"
+        )
+        parameters: tuple = ()
+        if name is not None:
+            query += " WHERE name = ?"
+            parameters = (name,)
+        query += " ORDER BY run_id"
+        records = []
+        for row in self._connection.execute(query, parameters):
+            records.append(
+                RunRecord(
+                    run_id=row[0],
+                    name=row[1],
+                    created_at=row[2],
+                    config_hash=row[3],
+                    git_rev=row[4],
+                    seed=row[5],
+                    config=json.loads(row[6]),
+                    metrics=self._metrics_of(row[0]),
+                )
+            )
+        return records
+
+    def run_names(self) -> List[str]:
+        """Distinct benchmark names, sorted."""
+        rows = self._connection.execute("SELECT DISTINCT name FROM runs ORDER BY name")
+        return [row[0] for row in rows]
+
+    def _metrics_of(self, run_id: int) -> Dict[str, float]:
+        rows = self._connection.execute(
+            "SELECT name, value FROM run_metrics WHERE run_id = ? ORDER BY name",
+            (run_id,),
+        )
+        return {row[0]: row[1] for row in rows}
+
+    def metric_history(
+        self,
+        name: str,
+        metric: str,
+        *,
+        config_hash: Optional[str] = None,
+        exclude_run_id: Optional[int] = None,
+    ) -> List[float]:
+        """Historical values of one metric, oldest first.
+
+        ``config_hash`` restricts the history to like-for-like runs (the
+        regression gate always passes it); ``exclude_run_id`` keeps the run
+        under test out of its own baseline.
+        """
+        query = (
+            "SELECT m.value FROM run_metrics m JOIN runs r ON r.run_id = m.run_id"
+            " WHERE r.name = ? AND m.name = ?"
+        )
+        parameters: List[object] = [name, metric]
+        if config_hash is not None:
+            query += " AND r.config_hash = ?"
+            parameters.append(config_hash)
+        if exclude_run_id is not None:
+            query += " AND r.run_id != ?"
+            parameters.append(exclude_run_id)
+        query += " ORDER BY r.run_id"
+        return [row[0] for row in self._connection.execute(query, parameters)]
+
+    # ------------------------------------------------------------- artifacts
+    def write_artifact(
+        self, record: RunRecord, directory: str = DEFAULT_RESULTS_DIR
+    ) -> Path:
+        """Write the ``BENCH_<name>.json`` artifact of ``record``."""
+        target_dir = Path(directory)
+        target_dir.mkdir(parents=True, exist_ok=True)
+        path = target_dir / f"BENCH_{record.name}.json"
+        path.write_text(
+            json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self._connection.close()

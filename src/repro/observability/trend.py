@@ -1,0 +1,101 @@
+"""Perf-trajectory trend report over the results store.
+
+``python -m repro.observability.trend --results-db bench_results/results.sqlite``
+prints, for every benchmark in the store, each metric's latest value against
+its like-for-like baseline (same name + config hash) and the gate verdict.
+CI runs this as a **non-gating** step after the bench job: the report makes
+drift visible in the job log without turning machine noise into a red build
+— the gating itself happens inside the bench tests where the metrics are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .gate import PerfGate, gate_against_history
+from .store import DEFAULT_RESULTS_DIR, DEFAULT_DB_FILENAME, ResultsStore
+
+
+def render_trend_report(store: ResultsStore, *, min_samples: int = 3) -> str:
+    """Render the trend report for every benchmark in ``store``."""
+    lines: List[str] = []
+    names = store.run_names()
+    if not names:
+        return "trend: results store is empty (no runs recorded yet)"
+    gate = PerfGate(store, min_samples=min_samples)
+    for name in names:
+        runs = store.runs(name)
+        latest = runs[-1]
+        lines.append(
+            f"{name}: {len(runs)} run(s), latest rev {latest.git_rev} "
+            f"config {latest.config_hash} seed {latest.seed}"
+        )
+        for metric, value in sorted(latest.metrics.items()):
+            history = store.metric_history(
+                name,
+                metric,
+                config_hash=latest.config_hash,
+                exclude_run_id=latest.run_id,
+            )
+            # Direction is unknown at report time, so the trend report shows
+            # drift in both tails: flag when either one-sided gate fails.
+            high = gate_against_history(
+                metric, value, history,
+                higher_is_better=True, min_samples=gate.min_samples,
+                sigmas=gate.sigmas, slack_fraction=gate.slack_fraction,
+            )
+            low = gate_against_history(
+                metric, value, history,
+                higher_is_better=False, min_samples=gate.min_samples,
+                sigmas=gate.sigmas, slack_fraction=gate.slack_fraction,
+            )
+            if high.status == "seeding":
+                marker = "~"
+                detail = f"seeding ({high.baseline_count} prior run(s))"
+            elif high.passed and low.passed:
+                marker = " "
+                detail = (
+                    f"within [{high.threshold:.6g}, {low.threshold:.6g}] "
+                    f"of baseline mean {high.baseline_mean:.6g}"
+                )
+            else:
+                marker = "!"
+                tail = "below" if not high.passed else "above"
+                detail = (
+                    f"DRIFT {tail} baseline mean {high.baseline_mean:.6g} "
+                    f"over {high.baseline_count} run(s)"
+                )
+            lines.append(f"  {marker} {metric} = {value:.6g}  {detail}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.trend",
+        description="Print the perf trajectory stored in the results DB.",
+    )
+    parser.add_argument(
+        "--results-db",
+        default=f"{DEFAULT_RESULTS_DIR}/{DEFAULT_DB_FILENAME}",
+        help="path to the SQLite results store (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-samples",
+        type=int,
+        default=3,
+        help="baseline runs needed before drift is flagged (default: %(default)s)",
+    )
+    options = parser.parse_args(argv)
+    store = ResultsStore(options.results_db)
+    try:
+        print(render_trend_report(store, min_samples=options.min_samples))
+    finally:
+        store.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -4,6 +4,13 @@ Collapses the per-replica metric collectors of every shard into one
 :class:`ShardedMetricsReport`: a per-shard load summary (committed
 transactions, throughput over the shard's busy window, latencies, aborts)
 plus cluster-wide aggregates used by the scale-out benchmarks.
+
+All instrument reads go through a
+:class:`~repro.observability.registry.MetricsRegistry` labelled by shard and
+site — the same registry (and the same instrument names) a flat cluster
+reports under ``shard=global`` — so flat and sharded runs share one
+consistent metric namespace.  The registry used is attached to the report
+for further drill-down queries.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..metrics.stats import mean, summarize
+from ..observability.registry import MetricsRegistry, build_registry
 from ..types import ShardId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -45,6 +53,9 @@ class ShardedMetricsReport:
     mean_client_latency: float = 0.0
     total_reorder_aborts: int = 0
     duration: float = 0.0
+    #: The shard/site-labelled registry the report was computed from; query
+    #: it for any instrument the summaries do not surface.
+    registry: Optional[MetricsRegistry] = None
 
     def shard(self, shard_id: ShardId) -> ShardLoadSummary:
         """Return the summary of one shard."""
@@ -58,26 +69,37 @@ class ShardedMetricsReport:
         return {summary.shard_id: summary.throughput_tps for summary in self.shards}
 
 
-def summarize_shard(cluster: "ShardedCluster", shard_id: ShardId) -> ShardLoadSummary:
-    """Summarize the metrics of one shard's replica group."""
+def summarize_shard(
+    cluster: "ShardedCluster",
+    shard_id: ShardId,
+    registry: Optional[MetricsRegistry] = None,
+) -> ShardLoadSummary:
+    """Summarize the metrics of one shard's replica group.
+
+    Instrument reads are label-filtered queries against ``registry`` (built
+    on demand when not given); only the client-side submission bookkeeping
+    — which lives outside the collectors — is read from the replicas.
+    """
+    if registry is None:
+        registry = build_registry(cluster)
     shard = cluster.shard(shard_id)
     committed = shard.committed_counts()
     distinct_committed = max(committed.values()) if committed else 0
 
     submit_times: List[float] = []
     commit_times: List[float] = []
-    ordering_delays: List[float] = []
-    queries_completed = 0
     for replica in shard.replicas.values():
         for submitted in replica.submitted.values():
             submit_times.append(submitted.submitted_at)
             if submitted.committed_at is not None:
                 commit_times.append(submitted.committed_at)
-        ordering_delays.extend(replica.metrics.latency("ordering_delay").samples)
-        queries_completed += replica.metrics.count("queries_completed")
+    ordering_delays = registry.latency_samples("ordering_delay", shard=shard_id)
+    queries_completed = registry.counter_total("queries_completed", shard=shard_id)
 
     duration = (max(commit_times) - min(submit_times)) if commit_times else 0.0
-    latency_summary = summarize(shard.all_client_latencies())
+    latency_summary = summarize(
+        registry.latency_samples("client_commit_latency", shard=shard_id)
+    )
     return ShardLoadSummary(
         shard_id=shard_id,
         site_count=len(shard.replicas),
@@ -86,7 +108,7 @@ def summarize_shard(cluster: "ShardedCluster", shard_id: ShardId) -> ShardLoadSu
         mean_client_latency=latency_summary.mean,
         p90_client_latency=latency_summary.p90,
         mean_ordering_delay=mean(ordering_delays),
-        reorder_aborts=shard.total_reorder_aborts(),
+        reorder_aborts=registry.counter_total("reorder_aborts", shard=shard_id),
         queries_completed=queries_completed,
         first_submit_at=min(submit_times) if submit_times else None,
         last_commit_at=max(commit_times) if commit_times else None,
@@ -101,13 +123,16 @@ def aggregate_shard_metrics(cluster: "ShardedCluster") -> ShardedMetricsReport:
     last commit across all shards), so it reflects the wall-clock rate a
     client of the whole sharded system observes.
     """
-    report = ShardedMetricsReport()
+    registry = build_registry(cluster)
+    report = ShardedMetricsReport(registry=registry)
     for shard_id in cluster.shard_ids():
-        report.shards.append(summarize_shard(cluster, shard_id))
+        report.shards.append(summarize_shard(cluster, shard_id, registry))
 
     report.total_committed = sum(summary.committed for summary in report.shards)
     report.total_reorder_aborts = sum(summary.reorder_aborts for summary in report.shards)
-    report.mean_client_latency = mean(cluster.all_client_latencies())
+    report.mean_client_latency = mean(
+        registry.latency_samples("client_commit_latency")
+    )
 
     starts = [s.first_submit_at for s in report.shards if s.first_submit_at is not None]
     ends = [s.last_commit_at for s in report.shards if s.last_commit_at is not None]

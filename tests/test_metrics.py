@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.metrics import (
     Counter,
+    Gauge,
     LatencyRecorder,
     MetricsCollector,
     Summary,
@@ -45,6 +46,12 @@ class TestStats:
         assert summary.minimum == 1.0
         assert summary.maximum == 5.0
         assert summary.p50 == pytest.approx(3.0)
+        assert summary.p95 == pytest.approx(percentile([1.0, 2.0, 3.0, 4.0, 5.0], 0.95))
+        assert summary.p90 <= summary.p95 <= summary.p99
+
+    def test_summarize_single_value_percentiles(self):
+        summary = summarize([7.0])
+        assert summary.p50 == summary.p95 == summary.p99 == 7.0
 
     def test_summarize_empty(self):
         assert summarize([]) == Summary.empty()
@@ -67,7 +74,8 @@ class TestStats:
         assert summary.minimum <= summary.p50 <= summary.maximum
         assert summary.minimum - tolerance <= summary.mean <= summary.maximum + tolerance
         assert summary.p50 <= summary.p90 + 1e-9
-        assert summary.p90 <= summary.p99 + 1e-9
+        assert summary.p90 <= summary.p95 + 1e-9
+        assert summary.p95 <= summary.p99 + 1e-9
         assert summary.count == len(values)
 
 
@@ -107,3 +115,21 @@ class TestCollector:
         snapshot = metrics.snapshot()
         assert snapshot["counters"] == {"a": 1}
         assert "b" in snapshot["latencies"]
+
+    def test_gauge_tracks_value_and_high_water(self):
+        gauge = Gauge("depth")
+        gauge.set(3.0)
+        gauge.set(7.0)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+        assert gauge.maximum == 7.0
+
+    def test_collector_gauges(self):
+        metrics = MetricsCollector("test")
+        metrics.set_gauge("queue_depth", 4.0)
+        metrics.set_gauge("queue_depth", 1.0)
+        assert metrics.gauge("queue_depth").value == 1.0
+        assert metrics.gauge_max("queue_depth") == 4.0
+        assert metrics.gauge_max("missing") == 0.0
+        snapshot = metrics.snapshot()
+        assert snapshot["gauges"]["queue_depth"] == {"value": 1.0, "max": 4.0}

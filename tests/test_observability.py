@@ -1,0 +1,425 @@
+"""Tests for the observability layer: tracing, registry, store, gate, trend.
+
+Covers the span protocol (closed exactly once, loud failures on misuse),
+end-to-end tracing of flat and chaos runs (same-seed reproducible), the
+zero-cost disabled path, the unified metric namespace across flat and
+sharded clusters, and the provenance-stamped results store with its
+baseline regression gate.
+"""
+
+import inspect
+import json
+
+import pytest
+
+from repro.chaos.plan import FaultPlan, coordinator
+from repro.chaos.scenarios import build_chaos_cluster, execute_chaos_run
+from repro.core.cluster import ReplicatedDatabase
+from repro.core.config import ClusterConfig
+from repro.observability import (
+    FLAT_SHARD_LABEL,
+    PerfGate,
+    ResultsStore,
+    ResultsStoreError,
+    TraceError,
+    TransactionTracer,
+    build_registry,
+    config_hash,
+    derive_metrics,
+    failures,
+    gate_against_history,
+    render_trend_report,
+)
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.procedures import (
+    build_conflict_map,
+    build_initial_data,
+    build_partitioned_registry,
+)
+from repro.workloads.specs import WorkloadSpec
+
+
+def build_traced_cluster(tracer, *, seed=7, site_count=3, updates_per_site=6):
+    spec = WorkloadSpec(
+        class_count=4,
+        updates_per_site=updates_per_site,
+        update_interval=0.002,
+        update_duration=0.0008,
+    )
+    cluster = ReplicatedDatabase(
+        ClusterConfig(site_count=site_count, seed=seed, tracer=tracer),
+        build_partitioned_registry(spec),
+        conflict_map=build_conflict_map(spec),
+        initial_data=build_initial_data(spec),
+    )
+    WorkloadGenerator(spec).apply(cluster)
+    return cluster
+
+
+class TestSpanProtocol:
+    def test_begin_end_once(self):
+        tracer = TransactionTracer()
+        span = tracer.begin(1.0, "execute", "S1", "T1", conflict_class="C0")
+        assert not span.closed
+        closed = tracer.end(2.5, "execute", "S1", "T1", outcome="executed")
+        assert closed is span
+        assert span.closed
+        assert span.duration == pytest.approx(1.5)
+        assert span.outcome == "executed"
+        assert span.attempt == 1
+
+    def test_double_close_raises(self):
+        tracer = TransactionTracer()
+        tracer.begin(1.0, "execute", "S1", "T1")
+        tracer.end(2.0, "execute", "S1", "T1")
+        with pytest.raises(TraceError):
+            tracer.end(3.0, "execute", "S1", "T1")
+
+    def test_end_without_begin_raises(self):
+        tracer = TransactionTracer()
+        with pytest.raises(TraceError):
+            tracer.end(1.0, "lifecycle", "S1", "T1")
+
+    def test_begin_while_open_raises(self):
+        tracer = TransactionTracer()
+        tracer.begin(1.0, "execute", "S1", "T1")
+        with pytest.raises(TraceError):
+            tracer.begin(1.5, "execute", "S1", "T1")
+
+    def test_reopen_after_close_numbers_attempts(self):
+        tracer = TransactionTracer()
+        tracer.begin(1.0, "execute", "S1", "T1")
+        tracer.end(2.0, "execute", "S1", "T1", outcome="reorder_abort")
+        retry = tracer.begin(2.5, "execute", "S1", "T1")
+        assert retry.attempt == 2
+
+    def test_end_if_open_is_a_noop_when_closed(self):
+        tracer = TransactionTracer()
+        assert tracer.end_if_open(1.0, "execute", "S1", "T1") is None
+        tracer.begin(1.0, "execute", "S1", "T1")
+        assert tracer.end_if_open(2.0, "execute", "S1", "T1") is not None
+        assert tracer.end_if_open(3.0, "execute", "S1", "T1") is None
+
+    def test_close_site_spans_only_touches_that_site(self):
+        tracer = TransactionTracer()
+        tracer.begin(1.0, "execute", "S1", "T1")
+        tracer.begin(1.0, "lifecycle", "S1", "T1")
+        tracer.begin(1.0, "execute", "S2", "T2")
+        closed = tracer.close_site_spans(2.0, "S1", outcome="crash")
+        assert closed == 2
+        assert [span.site for span in tracer.open_spans()] == ["S2"]
+        assert all(
+            span.outcome == "crash" for span in tracer.spans if span.site == "S1"
+        )
+
+
+class TestTracedClusterRun:
+    def test_lifecycle_spans_close_exactly_once(self):
+        tracer = TransactionTracer()
+        cluster = build_traced_cluster(tracer)
+        cluster.run_until_idle()
+
+        assert tracer.open_spans() == []
+        lifecycles = [span for span in tracer.spans if span.name == "lifecycle"]
+        assert lifecycles and all(span.closed for span in lifecycles)
+        assert all(span.outcome == "committed" for span in lifecycles)
+        # Exactly one lifecycle attempt per transaction at its submit site.
+        keys = [(s.name, s.site, s.transaction_id, s.attempt) for s in tracer.spans]
+        assert len(keys) == len(set(keys))
+
+    def test_events_cover_the_transaction_path(self):
+        tracer = TransactionTracer()
+        cluster = build_traced_cluster(tracer)
+        cluster.run_until_idle()
+        counts = tracer.counts_by_kind()
+        for kind in ("submit", "broadcast_send", "opt_deliver", "to_deliver", "commit"):
+            assert counts.get(kind, 0) > 0, counts
+        transaction_id = next(
+            event.transaction_id for event in tracer.events if event.kind == "submit"
+        )
+        timeline = [kind for _, kind, _ in tracer.transaction_timeline(transaction_id)]
+        assert timeline.index("submit") < timeline.index("commit")
+
+    def test_derived_metrics_from_a_traced_run(self):
+        tracer = TransactionTracer()
+        cluster = build_traced_cluster(tracer)
+        cluster.run_until_idle()
+        derived = derive_metrics(cluster)
+        assert 0.0 <= derived.opt_to_divergence_rate <= 1.0
+        assert derived.commits > 0
+        assert derived.max_class_queue_depth >= 1.0
+        flat = derived.to_metrics()
+        assert "opt_to_divergence_rate" in flat
+        assert "client_commit_latency_p95" in flat
+
+    def test_jsonl_export_round_trips(self):
+        tracer = TransactionTracer()
+        cluster = build_traced_cluster(tracer, updates_per_site=3)
+        cluster.run_until_idle()
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == len(tracer.events) + len(tracer.spans)
+        parsed = [json.loads(line) for line in lines]
+        assert {entry["type"] for entry in parsed} == {"event", "span"}
+
+    def test_chrome_trace_export_shape(self, tmp_path):
+        tracer = TransactionTracer()
+        cluster = build_traced_cluster(tracer, updates_per_site=3)
+        cluster.run_until_idle()
+        path = tmp_path / "trace.json"
+        count = tracer.write_chrome_trace(str(path))
+        entries = json.loads(path.read_text())
+        assert len(entries) == count
+        assert {entry["ph"] for entry in entries} <= {"X", "i"}
+        stamps = [entry["ts"] for entry in entries]
+        assert stamps == sorted(stamps)
+        assert all(entry["ts"] >= 0 for entry in entries)
+
+
+class TestDisabledTracingFastPath:
+    def test_kernel_hot_loop_has_no_tracing_hooks(self):
+        # The zero-cost claim, checked structurally: the simulation kernel
+        # never consults a tracer, so the dispatch floor is untouched.
+        import repro.simulation.kernel as kernel_module
+
+        assert "tracer" not in inspect.getsource(kernel_module)
+
+    def test_disabled_tracing_changes_nothing(self):
+        untraced = build_traced_cluster(None, seed=9)
+        untraced_events = untraced.run_until_idle()
+        tracer = TransactionTracer()
+        traced = build_traced_cluster(tracer, seed=9)
+        traced_events = traced.run_until_idle()
+        # Tracing schedules no kernel events and alters no outcomes: the
+        # traced run dispatches the exact same event count and commits the
+        # same transactions.
+        assert traced_events == untraced_events
+        assert traced.committed_counts() == untraced.committed_counts()
+        assert len(tracer.events) > 0
+
+
+class TestChaosTraceReproducibility:
+    def run_traced_failover(self, seed):
+        tracer = TransactionTracer()
+        cluster, spec = build_chaos_cluster(seed, tracer=tracer)
+        first_shard = cluster.shard_ids()[0]
+        plan = FaultPlan("traced-failover").crash(
+            coordinator(first_shard), at=0.030, duration=0.080
+        )
+        result = execute_chaos_run(
+            cluster, spec, plan, scenario="traced_failover", seed=seed
+        )
+        return tracer, result
+
+    def test_same_seed_same_trace(self):
+        first_tracer, first_result = self.run_traced_failover(seed=5)
+        second_tracer, second_result = self.run_traced_failover(seed=5)
+        assert first_result.ok and second_result.ok
+        assert len(first_tracer.events) > 0
+        assert first_tracer.signature() == second_tracer.signature()
+
+    def test_crash_closes_spans_and_is_visible(self):
+        tracer, result = self.run_traced_failover(seed=5)
+        assert result.faults_injected >= 1
+        counts = tracer.counts_by_kind()
+        assert counts.get("site_down", 0) >= 1
+        assert counts.get("site_up", 0) >= 1
+        assert tracer.open_spans() == []
+
+    def test_different_seed_different_trace(self):
+        first_tracer, _ = self.run_traced_failover(seed=5)
+        second_tracer, _ = self.run_traced_failover(seed=6)
+        assert first_tracer.signature() != second_tracer.signature()
+
+
+class TestRegistryNamespace:
+    def test_flat_cluster_registers_under_the_global_shard(self):
+        cluster = build_traced_cluster(None)
+        cluster.run_until_idle()
+        registry = build_registry(cluster)
+        assert registry.label_values("shard") == [FLAT_SHARD_LABEL]
+        assert len(registry) == len(cluster.site_ids())
+        total = sum(cluster.committed_counts().values())
+        assert registry.counter_total("commits") == total
+        assert registry.gauge_high_water("class_queue_depth") >= 1.0
+
+    def test_flat_and_sharded_share_one_namespace(self):
+        flat = build_traced_cluster(None)
+        flat.run_until_idle()
+        flat_registry = build_registry(flat)
+
+        sharded, spec = build_chaos_cluster(seed=3)
+        from repro.workloads.sharded import ShardedWorkloadGenerator
+
+        ShardedWorkloadGenerator(spec).apply(sharded)
+        sharded.run_until_idle()
+        sharded_registry = build_registry(sharded)
+
+        assert sharded_registry.label_values("shard") == sorted(sharded.shard_ids())
+        flat_names = flat_registry.instrument_names()
+        sharded_names = sharded_registry.instrument_names()
+        for kind in ("counters", "latencies"):
+            shared = set(flat_names[kind]) & set(sharded_names[kind])
+            assert {"commits", "client_commit_latency"} & shared or shared
+        # The flat snapshot keys are the same shape as the sharded ones,
+        # just labelled with the global pseudo-shard.
+        flat_keys = list(flat_registry.snapshot())
+        assert flat_keys and all(
+            key.startswith(f"shard={FLAT_SHARD_LABEL}/site=") for key in flat_keys
+        )
+
+    def test_label_filters_partition_the_totals(self):
+        sharded, spec = build_chaos_cluster(seed=3)
+        from repro.workloads.sharded import ShardedWorkloadGenerator
+
+        ShardedWorkloadGenerator(spec).apply(sharded)
+        sharded.run_until_idle()
+        registry = build_registry(sharded)
+        per_shard = [
+            registry.counter_total("commits", shard=shard_id)
+            for shard_id in sharded.shard_ids()
+        ]
+        assert sum(per_shard) == registry.counter_total("commits")
+        assert all(count > 0 for count in per_shard)
+
+
+class TestResultsStore:
+    def test_record_and_query_runs(self, tmp_path):
+        store = ResultsStore(str(tmp_path / "results.sqlite"))
+        record = store.record_run(
+            "demo_bench",
+            config={"sites": 4, "seed": 2},
+            metrics={"throughput": 120.0, "aborts": 3},
+            seed=2,
+            git_rev="abc1234",
+            created_at=1000.0,
+        )
+        assert record.run_id == 1
+        assert record.config_hash == config_hash({"seed": 2, "sites": 4})
+        fetched = store.runs("demo_bench")
+        assert len(fetched) == 1
+        assert fetched[0].metrics == {"aborts": 3.0, "throughput": 120.0}
+        assert store.run_names() == ["demo_bench"]
+        store.close()
+
+    def test_store_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "results.sqlite")
+        store = ResultsStore(path)
+        store.record_run("persisted", config={}, metrics={"x": 1.0})
+        store.close()
+        reopened = ResultsStore(path)
+        assert [run.name for run in reopened.runs()] == ["persisted"]
+        reopened.close()
+
+    def test_invalid_run_name_rejected(self):
+        store = ResultsStore()
+        with pytest.raises(ResultsStoreError):
+            store.record_run("bad name!", config={}, metrics={})
+        store.close()
+
+    def test_config_hash_ignores_key_order(self):
+        assert config_hash({"a": 1, "b": [2, 3]}) == config_hash({"b": [2, 3], "a": 1})
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_metric_history_filters(self):
+        store = ResultsStore()
+        first = store.record_run("b", config={"v": 1}, metrics={"m": 1.0})
+        store.record_run("b", config={"v": 1}, metrics={"m": 2.0})
+        store.record_run("b", config={"v": 2}, metrics={"m": 99.0})
+        history = store.metric_history("b", "m", config_hash=first.config_hash)
+        assert history == [1.0, 2.0]
+        assert store.metric_history(
+            "b", "m", config_hash=first.config_hash, exclude_run_id=first.run_id
+        ) == [2.0]
+        store.close()
+
+    def test_artifact_carries_the_provenance_stamp(self, tmp_path):
+        store = ResultsStore()
+        record = store.record_run(
+            "figure1",
+            config={"intervals": [1.0, 4.0]},
+            metrics={"ordered_pct": 99.0},
+            seed=1,
+            git_rev="deadbee",
+            created_at=5.0,
+        )
+        path = store.write_artifact(record, str(tmp_path))
+        assert path.name == "BENCH_figure1.json"
+        body = json.loads(path.read_text())
+        assert body["config_hash"] == record.config_hash
+        assert body["git_rev"] == "deadbee"
+        assert body["seed"] == 1
+        assert body["metrics"] == {"ordered_pct": 99.0}
+        store.close()
+
+
+class TestPerfGate:
+    def test_seeding_mode_passes_with_sparse_baseline(self):
+        result = gate_against_history("tps", 1.0, [5.0, 5.0])
+        assert result.passed and result.status == "seeding"
+        assert "seeding" in result.describe()
+
+    def test_within_band_passes(self):
+        result = gate_against_history("tps", 97.0, [100.0, 101.0, 99.0])
+        assert result.passed and result.status == "within"
+
+    def test_regression_fails_in_the_gated_direction_only(self):
+        history = [100.0, 100.0, 100.0]
+        low = gate_against_history("tps", 50.0, history, higher_is_better=True)
+        assert not low.passed and low.status == "regressed"
+        assert "REGRESSED" in low.describe()
+        high = gate_against_history("tps", 150.0, history, higher_is_better=True)
+        assert high.passed
+        # Lower-is-better inverts which tail regresses.
+        latency_up = gate_against_history("lat", 150.0, history, higher_is_better=False)
+        assert not latency_up.passed
+        assert gate_against_history("lat", 50.0, history, higher_is_better=False).passed
+
+    def test_slack_floor_tolerates_small_drift_of_constants(self):
+        result = gate_against_history("events", 95.0, [100.0, 100.0, 100.0])
+        assert result.passed  # within the 10% slack floor despite zero stddev
+
+    def test_perf_gate_builds_baseline_from_like_for_like_runs(self):
+        store = ResultsStore()
+        for value in (100.0, 101.0, 99.0):
+            store.record_run("bench", config={"v": 1}, metrics={"tps": value})
+        # A differently-configured run must not pollute the baseline.
+        store.record_run("bench", config={"v": 2}, metrics={"tps": 1.0})
+        good = store.record_run("bench", config={"v": 1}, metrics={"tps": 98.0})
+        gate = PerfGate(store)
+        results = gate.assert_within_baseline(good, {"tps": True})
+        assert [result.status for result in results] == ["within"]
+
+        bad = store.record_run("bench", config={"v": 1}, metrics={"tps": 10.0})
+        with pytest.raises(AssertionError, match="REGRESSED"):
+            gate.assert_within_baseline(bad, {"tps": True})
+        assert set(failures(gate.check(bad, {"tps": True}))) == {"tps"}
+        store.close()
+
+    def test_gate_skips_metrics_absent_from_the_record(self):
+        store = ResultsStore()
+        record = store.record_run("bench", config={}, metrics={"tps": 1.0})
+        results = PerfGate(store).check(record, {"missing": True})
+        assert results == []
+        store.close()
+
+
+class TestTrendReport:
+    def test_report_lists_runs_and_marks_seeding(self):
+        store = ResultsStore()
+        store.record_run(
+            "demo", config={"v": 1}, metrics={"tps": 100.0}, git_rev="abc", seed=4
+        )
+        report = render_trend_report(store)
+        assert "demo" in report
+        assert "tps" in report
+        assert "seeding" in report
+        store.close()
+
+    def test_report_flags_drift(self):
+        store = ResultsStore()
+        for value in (100.0, 100.0, 100.0):
+            store.record_run("demo", config={"v": 1}, metrics={"tps": value})
+        store.record_run("demo", config={"v": 1}, metrics={"tps": 1.0})
+        report = render_trend_report(store)
+        assert "DRIFT" in report
+        store.close()
