@@ -218,6 +218,15 @@ class BatchingEndpoint(AtomicBroadcastEndpoint):
         self.inner.set_sequencer(sequencer_site)  # type: ignore[attr-defined]
 
     @property
+    def next_position_to_assign(self) -> int:
+        """The inner endpoint's next definitive (batch) position."""
+        return self.inner.next_position_to_assign  # type: ignore[attr-defined]
+
+    def ensure_assign_floor(self, floor: int) -> None:
+        """Forward a view-change position floor to the inner endpoint."""
+        self.inner.ensure_assign_floor(floor)  # type: ignore[attr-defined]
+
+    @property
     def fill_safe(self) -> Optional[Callable[[int], bool]]:
         """Outer-position fill-safety hook (see the cluster facade)."""
         return self._outer_fill_safe

@@ -247,6 +247,22 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
         """Whether this endpoint currently establishes the definitive order."""
         return self.site_id == self.coordinator_site
 
+    @property
+    def next_position_to_assign(self) -> int:
+        """The next definitive position this endpoint would assign."""
+        return self._next_position_to_assign
+
+    def ensure_assign_floor(self, floor: int) -> None:
+        """Raise the position counter to at least ``floor``.
+
+        A view change calls this on the incoming coordinator with the highest
+        counter observed across the group (the state exchange of the view
+        change), so positions the outgoing coordinator already assigned —
+        possibly still in flight — are never reassigned to other messages.
+        """
+        if floor > self._next_position_to_assign:
+            self._next_position_to_assign = floor
+
     def message(self, message_id: MessageId) -> Optional[BroadcastMessage]:
         """Return this site's record of ``message_id`` (or ``None``)."""
         return self._messages.get(message_id)

@@ -142,6 +142,16 @@ class SequencerAtomicBroadcast(AtomicBroadcastEndpoint):
         """Whether this endpoint currently acts as the sequencer."""
         return self.site_id == self.sequencer_site
 
+    @property
+    def next_position_to_assign(self) -> int:
+        """The next definitive position this endpoint would assign."""
+        return self._next_position_to_assign
+
+    def ensure_assign_floor(self, floor: int) -> None:
+        """Raise the position counter to at least ``floor`` (view change)."""
+        if floor > self._next_position_to_assign:
+            self._next_position_to_assign = floor
+
     def message(self, message_id: MessageId) -> Optional[BroadcastMessage]:
         """Return this site's record of ``message_id`` (or ``None``)."""
         return self._messages.get(message_id)

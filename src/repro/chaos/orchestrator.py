@@ -28,6 +28,7 @@ from .plan import (
     ACTION_CRASH,
     ACTION_HEAL,
     ACTION_PARTITION,
+    ACTION_PARTITION_ONEWAY,
     ACTION_RECOVER,
     ACTION_RESTORE,
     ACTION_SLOW,
@@ -81,58 +82,63 @@ def trace_signature(
 
 
 #: Trace actions that inject a fault (as opposed to reverting one).
-INJECTION_ACTIONS = frozenset({ACTION_CRASH, ACTION_PARTITION, ACTION_SLOW})
+INJECTION_ACTIONS = frozenset(
+    {ACTION_CRASH, ACTION_PARTITION, ACTION_PARTITION_ONEWAY, ACTION_SLOW}
+)
 
-#: An open fault window: the sites it covers, each with the generation
-#: observed when the window opened.
-_Window = Tuple[Tuple[SiteId, int], ...]
+#: An open fault window: the keys it covers (sites, or directed links for
+#: one-way partitions), each with the generation observed when the window
+#: opened.
+_Window = Tuple[Tuple[object, int], ...]
 
 
 class _WindowTracker:
     """Reference-counted fault windows with generation-based cancellation.
 
     Overlapping self-reverting faults of one kind (crash or partition) hold
-    each site once per open window: a site reverts only when its *last*
+    each key once per open window: a key reverts only when its *last*
     window closes.  An explicit revert (recover/heal) cancels every open
-    window of its sites by bumping the site's generation — a stale window's
+    window of its keys by bumping the key's generation — a stale window's
     close then sees a newer generation and must not consume the hold of any
-    fault injected after the cancellation.
+    fault injected after the cancellation.  Keys are sites for crash and
+    symmetric-partition windows, and directed ``(source, receiver)`` link
+    tuples for one-way partition windows.
     """
 
     def __init__(self) -> None:
-        self._holds: Dict[SiteId, int] = {}
-        self._generation: Dict[SiteId, int] = {}
+        self._holds: Dict[object, int] = {}
+        self._generation: Dict[object, int] = {}
 
-    def open(self, sites: Sequence[SiteId]) -> _Window:
-        """Register one window over ``sites`` and return its handle."""
+    def open(self, keys: Sequence[object]) -> _Window:
+        """Register one window over ``keys`` and return its handle."""
         window = []
-        for site_id in sites:
-            self._holds[site_id] = self._holds.get(site_id, 0) + 1
-            window.append((site_id, self._generation.get(site_id, 0)))
+        for key in keys:
+            self._holds[key] = self._holds.get(key, 0) + 1
+            window.append((key, self._generation.get(key, 0)))
         return tuple(window)
 
-    def cancel(self, sites: Sequence[SiteId]) -> None:
-        """Cancel every open window of ``sites`` (explicit revert)."""
-        for site_id in sites:
-            self._holds.pop(site_id, None)
-            self._generation[site_id] = self._generation.get(site_id, 0) + 1
+    def cancel(self, keys: Sequence[object]) -> None:
+        """Cancel every open window of ``keys`` (explicit revert)."""
+        for key in keys:
+            self._holds.pop(key, None)
+            self._generation[key] = self._generation.get(key, 0) + 1
 
     def cancel_all(self) -> None:
-        """Cancel every open window of every site."""
+        """Cancel every open window of every key."""
         self.cancel(list(self._holds))
 
-    def close(self, window: _Window) -> List[SiteId]:
-        """Close one window; return the sites whose last window this was."""
-        released: List[SiteId] = []
-        for site_id, generation in window:
-            if self._generation.get(site_id, 0) != generation:
+    def close(self, window: _Window) -> List[object]:
+        """Close one window; return the keys whose last window this was."""
+        released: List[object] = []
+        for key, generation in window:
+            if self._generation.get(key, 0) != generation:
                 continue  # window was cancelled by an explicit revert
-            holds = self._holds.get(site_id, 0) - 1
+            holds = self._holds.get(key, 0) - 1
             if holds > 0:
-                self._holds[site_id] = holds
+                self._holds[key] = holds
                 continue
-            self._holds.pop(site_id, None)
-            released.append(site_id)
+            self._holds.pop(key, None)
+            released.append(key)
         return released
 
 
@@ -250,6 +256,7 @@ class ChaosOrchestrator:
         # exactly its own extra delay when its window ends.
         self._crash_windows = _WindowTracker()
         self._partition_windows = _WindowTracker()
+        self._link_windows = _WindowTracker()
         self._spike_extras: List[float] = []
         self._spike_base: Optional[LatencyModel] = None
 
@@ -315,6 +322,38 @@ class ChaosOrchestrator:
                     lambda: self._auto_heal(window),
                     label=f"chaos:{self.plan.name}:auto-heal",
                 )
+        elif event.action == ACTION_PARTITION_ONEWAY:
+            receivers = self._resolve(event.receivers)
+            links = [
+                (source, receiver)
+                for source in sites
+                for receiver in receivers
+                if source != receiver
+            ]
+            if not links:
+                raise ChaosError(
+                    "one-way partition resolved to no links (sources and "
+                    "receivers collapsed to the same sites)"
+                )
+            window = self._link_windows.open(links)
+            for source, receiver in links:
+                self.binding.transport.partitions.sever(
+                    source, receiver, at_time=self.binding.kernel.now()
+                )
+            receiver_description = ", ".join(
+                target.describe() for target in event.receivers
+            )
+            self._record(
+                ACTION_PARTITION_ONEWAY,
+                f"{description} -> {receiver_description}",
+                tuple(f"{source}->{receiver}" for source, receiver in links),
+            )
+            if event.duration > 0.0:
+                self.binding.kernel.schedule(
+                    event.duration,
+                    lambda: self._auto_restore_links(window),
+                    label=f"chaos:{self.plan.name}:auto-restore-links",
+                )
         elif event.action == ACTION_HEAL:
             self._heal(sites if event.targets else None, description)
         elif event.action == ACTION_SLOW:
@@ -367,14 +406,22 @@ class ChaosOrchestrator:
             self._record(ACTION_RECOVER, "auto-recover", tuple(released))
 
     def _heal(self, sites: Optional[Sequence[SiteId]], description: str) -> None:
-        """Explicit heal: cancels any still-open partition windows."""
+        """Explicit heal: cancels any still-open partition and link windows."""
+        partitions = self.binding.transport.partitions
         if sites is None:
             self._partition_windows.cancel_all()
+            self._link_windows.cancel_all()
         else:
             self._partition_windows.cancel(sites)
-        self.binding.transport.partitions.heal(
-            sites, at_time=self.binding.kernel.now()
-        )
+            affected = [
+                link
+                for link in partitions.severed_links()
+                if link[0] in sites or link[1] in sites
+            ]
+            self._link_windows.cancel(affected)
+        # The controller's heal also restores severed links touching the
+        # healed sites (all of them with sites=None).
+        partitions.heal(sites, at_time=self.binding.kernel.now())
         self._record(ACTION_HEAL, description or "all", tuple(sites or ()))
 
     def _auto_heal(self, window: _Window) -> None:
@@ -385,6 +432,21 @@ class ChaosOrchestrator:
                 released, at_time=self.binding.kernel.now()
             )
             self._record(ACTION_HEAL, "auto-heal", tuple(released))
+
+    def _auto_restore_links(self, window: _Window) -> None:
+        """End one one-way window: restore only links with no other window."""
+        released = self._link_windows.close(window)
+        if not released:
+            return
+        for source, receiver in released:
+            self.binding.transport.partitions.restore(
+                source, receiver, at_time=self.binding.kernel.now()
+            )
+        self._record(
+            ACTION_HEAL,
+            "auto-restore-links",
+            tuple(f"{source}->{receiver}" for source, receiver in released),
+        )
 
     def _apply_spike(self, extra_delay: float) -> None:
         transport = self.binding.transport

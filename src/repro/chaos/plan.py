@@ -24,6 +24,7 @@ from ..types import ShardId, SiteId
 ACTION_CRASH = "crash"
 ACTION_RECOVER = "recover"
 ACTION_PARTITION = "partition"
+ACTION_PARTITION_ONEWAY = "partition-oneway"
 ACTION_HEAL = "heal"
 ACTION_SLOW = "slow"
 ACTION_RESTORE = "restore"
@@ -121,6 +122,9 @@ class FaultEvent:
     duration: float = 0.0
     extra_delay: float = 0.0
     sequence: int = 0
+    #: Second target group of directed events: ``partition_oneway`` severs
+    #: the links ``targets -> receivers`` (receivers stop hearing sources).
+    receivers: Tuple[FaultTarget, ...] = ()
 
 
 class FaultPlan:
@@ -172,6 +176,7 @@ class FaultPlan:
         *,
         duration: float = 0.0,
         extra_delay: float = 0.0,
+        receivers: Tuple[FaultTarget, ...] = (),
     ) -> "FaultPlan":
         if time < 0.0:
             raise ChaosError(f"cannot schedule a fault at negative time {time!r}")
@@ -183,6 +188,7 @@ class FaultPlan:
                 duration=duration,
                 extra_delay=extra_delay,
                 sequence=len(self._events),
+                receivers=receivers,
             )
         )
         return self
@@ -237,6 +243,39 @@ class FaultPlan:
         if duration is not None and duration <= 0.0:
             raise ChaosError("partition duration must be positive")
         return self._add(at, ACTION_PARTITION, coerced, duration=duration or 0.0)
+
+    def partition_oneway(
+        self,
+        sources: Iterable[TargetLike],
+        receivers: Iterable[TargetLike],
+        *,
+        at: float,
+        duration: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Sever the directed links ``sources -> receivers`` at ``at``.
+
+        Asymmetric partition: every receiver stops hearing from every source
+        while traffic in the opposite direction still flows — so a receiver
+        comes to suspect the sources while the sources keep trusting it.
+        With ``duration`` the same links (resolved at fire time) are restored
+        ``duration`` seconds later; overlapping windows on one link are
+        reference-counted and an explicit :meth:`heal` of either endpoint
+        cancels them (the same generation-based cancellation as symmetric
+        partitions).
+        """
+        coerced_sources = tuple(_coerce_target(target) for target in sources)
+        coerced_receivers = tuple(_coerce_target(target) for target in receivers)
+        if not coerced_sources or not coerced_receivers:
+            raise ChaosError("a one-way partition needs sources and receivers")
+        if duration is not None and duration <= 0.0:
+            raise ChaosError("partition duration must be positive")
+        return self._add(
+            at,
+            ACTION_PARTITION_ONEWAY,
+            coerced_sources,
+            duration=duration or 0.0,
+            receivers=coerced_receivers,
+        )
 
     def heal(
         self, *, at: float, targets: Optional[Iterable[TargetLike]] = None

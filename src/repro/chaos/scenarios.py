@@ -19,6 +19,14 @@ failures with recovery, reliable channels):
   away while messages are being opt-delivered, then rejoins.
 * :func:`latency_spike_under_load` — the network slows down sharply for a
   window, stretching the gap between tentative and definitive delivery.
+* :func:`wan_false_suspicion` — on a WAN topology with suspicion-driven
+  failover, a latency spike makes detectors falsely suspect the
+  coordinator: the group promotes, the suspicion is corrected, and the
+  rightful coordinator reclaims the role — no crash ever happens.
+* :func:`asymmetric_partition_suspicion` — a directed link break makes one
+  follower deaf to the coordinator while the coordinator still hears it;
+  only the deaf side suspects, condemnation needs a quorum, so no failover
+  occurs.
 
 Every scenario is a pure function of its seed: two runs with the same seed
 produce identical fault traces and identical commit outcomes (asserted by
@@ -28,9 +36,11 @@ produce identical fault traces and identical commit outcomes (asserted by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.config import ShardingConfig
+from ..failure.suspicion import FailureDetectionConfig
+from ..network.latency import GeoTopology, LinkProfile
 from ..errors import ChaosError, VerificationError
 from ..sharding.cluster import ShardedCluster
 from ..types import SiteId
@@ -120,6 +130,8 @@ def build_chaos_cluster(
     update_duration: float = 0.001,
     batching=None,
     tracer=None,
+    topology=None,
+    failure_detection=None,
 ) -> Tuple[ShardedCluster, ShardedWorkloadSpec]:
     """Build the standard cluster + workload spec used by the scenarios.
 
@@ -132,6 +144,14 @@ def build_chaos_cluster(
     can be replayed against batched endpoints.  ``tracer`` optionally attaches
     a :class:`~repro.observability.trace.TransactionTracer` to every shard, so
     a chaos run can be traced end to end (traces are same-seed reproducible).
+    ``topology`` (a :class:`~repro.network.latency.GeoTopology`) puts the
+    shared transport on region-aware per-link WAN delays, and
+    ``failure_detection`` (a
+    :class:`~repro.failure.suspicion.FailureDetectionConfig`) switches every
+    shard from oracle-driven failover to heartbeat suspicion-driven
+    promotion — runs using it must go through ``execute_chaos_run`` with a
+    ``settle_time`` so the periodic detectors can be stopped before the
+    final drain to idle.
     """
     spec = ShardedWorkloadSpec(
         shard_count=shard_count,
@@ -150,6 +170,8 @@ def build_chaos_cluster(
         echo_on_first_receipt=True,
         batching=batching,
         tracer=tracer,
+        topology=topology,
+        failure_detection=failure_detection,
     )
     cluster = ShardedCluster(
         config,
@@ -168,11 +190,21 @@ def execute_chaos_run(
     *,
     scenario: str,
     seed: int,
+    settle_time: Optional[float] = None,
 ) -> ChaosRunResult:
-    """Apply workload + plan to ``cluster``, run to idle, verify everything."""
+    """Apply workload + plan to ``cluster``, run to idle, verify everything.
+
+    ``settle_time`` is required by suspicion-driven runs: periodic heartbeat
+    detectors never let the kernel go idle, so the run first advances to
+    ``settle_time`` (chosen past the last fault plus detector re-trust), then
+    stops the detectors and drains the remaining events to idle.
+    """
     generator = ShardedWorkloadGenerator(spec)
     generator.apply(cluster)
     orchestrator = ChaosOrchestrator(cluster, plan).arm()
+    if settle_time is not None:
+        cluster.run(until=settle_time)
+        cluster.stop_failure_detectors()
     cluster.run_until_idle()
     cluster.check_scheduler_invariants()
 
@@ -317,6 +349,72 @@ def latency_spike_under_load(seed: int = 1, **sizing) -> ChaosRunResult:
     )
 
 
+def wan_false_suspicion(seed: int = 1, **sizing) -> ChaosRunResult:
+    """False suspicion on a WAN: a latency spike, no crash, a full failover.
+
+    The cluster runs on a two-region striped topology with suspicion-driven
+    failover.  A latency spike stretches heartbeat delays past the detection
+    timeout, so the followers falsely suspect (and condemn) the coordinator
+    — which is perfectly healthy — and promote the next-ranked site.  When
+    the spike passes, fresh heartbeats correct the suspicion, each detector
+    widens its timeout (the ◇P adaptation), and the rightful lowest-ranked
+    site reclaims the role.  Despite two view changes with the old
+    coordinator still alive and assigning, the run must pass the full stack:
+    1-copy-serializability, query consistency and liveness.
+    """
+    sizing.setdefault(
+        "topology",
+        GeoTopology.striped(
+            ("eu", "us"),
+            intra=LinkProfile(base=0.0004, jitter=0.0001),
+            cross=LinkProfile(base=0.002, jitter=0.0003),
+        ),
+    )
+    sizing.setdefault("failure_detection", FailureDetectionConfig())
+    cluster, spec = build_chaos_cluster(seed, **sizing)
+    plan = (
+        FaultPlan("wan-false-suspicion")
+        .latency_spike(0.080, at=0.020, duration=0.060)
+    )
+    return execute_chaos_run(
+        cluster,
+        spec,
+        plan,
+        scenario="wan_false_suspicion",
+        seed=seed,
+        settle_time=0.6,
+    )
+
+
+def asymmetric_partition_suspicion(seed: int = 1, **sizing) -> ChaosRunResult:
+    """A directed link break: one follower suspects, the quorum does not.
+
+    The link from the first shard's coordinator to its last follower is
+    severed one way: the follower stops hearing the coordinator (heartbeats
+    and order messages alike) while the coordinator still hears the
+    follower.  The deaf follower comes to suspect the coordinator, but
+    condemnation needs a quorum of the other live observers, so no failover
+    happens; when the link is restored, held envelopes (including stale
+    heartbeats, which the sequence check must discard) are flushed, the
+    follower re-trusts the coordinator and converges.
+    """
+    sizing.setdefault("failure_detection", FailureDetectionConfig())
+    cluster, spec = build_chaos_cluster(seed, **sizing)
+    first_shard = cluster.shard_ids()[0]
+    follower = cluster.shard(first_shard).site_ids()[-1]
+    plan = FaultPlan("asymmetric-partition").partition_oneway(
+        [coordinator(first_shard)], [site(follower)], at=0.020, duration=0.080
+    )
+    return execute_chaos_run(
+        cluster,
+        spec,
+        plan,
+        scenario="asymmetric_partition_suspicion",
+        seed=seed,
+        settle_time=0.6,
+    )
+
+
 #: Name → scenario function; the chaos experiment and tests iterate this.
 SCENARIOS: Dict[str, Callable[..., ChaosRunResult]] = {
     "sequencer_failover_under_load": sequencer_failover_under_load,
@@ -325,6 +423,8 @@ SCENARIOS: Dict[str, Callable[..., ChaosRunResult]] = {
     "partition_during_optimistic_delivery": partition_during_optimistic_delivery,
     "crash_during_execution": crash_during_execution,
     "latency_spike_under_load": latency_spike_under_load,
+    "wan_false_suspicion": wan_false_suspicion,
+    "asymmetric_partition_suspicion": asymmetric_partition_suspicion,
 }
 
 

@@ -19,6 +19,8 @@ from ..database.history import SiteHistory
 from ..database.procedures import ProcedureRegistry
 from ..errors import ReplicationError
 from ..failure.crash import CrashManager
+from ..failure.detector import HEARTBEAT_KIND, FailureDetector
+from ..failure.suspicion import SuspicionFailoverGovernor
 from ..metrics.collector import MetricsCollector
 from ..network.dispatcher import SiteDispatcher
 from ..network.transport import NetworkTransport
@@ -86,16 +88,21 @@ class ReplicatedDatabase:
         self._current_coordinator = coordinator
         # Crash semantics and coordinator failover: a crash destroys the
         # site's volatile state (ReplicaManager.on_crash) and, when the
-        # crashed site held the coordinator role, the lowest-id surviving
-        # site takes over.  A recovering site runs the catch-up protocol
+        # crashed site held the coordinator role, a surviving site takes
+        # over.  A recovering site runs the catch-up protocol
         # (ReplicaManager.on_recover: state transfer, broadcast rejoin,
-        # client re-submission) and adopts the current coordinator — or is
-        # promoted itself when it rejoins a group whose coordinator is still
-        # down.  Membership changes are driven by the crash manager (ground
-        # truth in the simulation); a full group-membership/view-change
-        # protocol is out of scope — the failure-detector substrate
-        # (:mod:`repro.failure.detector`) shows how the same decision would
-        # be taken from suspicions.
+        # client re-submission) and adopts the current coordinator.
+        #
+        # *Who* decides the promotion depends on ``config.failure_detection``:
+        # with it unset (default), the crash manager's ground truth drives
+        # the role directly (oracle mode — deterministic and cheap, right
+        # for experiments that are not about failure handling).  With it
+        # set, every site runs a heartbeat ◇P detector and a
+        # :class:`SuspicionFailoverGovernor` elects the coordinator from the
+        # live sites' *suspicions* (quorum condemnation + Ω rule), so false
+        # suspicions — the case the paper's consensus fallback exists for —
+        # actually reach the promotion path; the crash manager is then only
+        # the fault injector.
         self.crash_manager.add_listener(self._on_liveness_change)
         for site_id in site_ids:
             dispatcher = SiteDispatcher(self.transport, site_id)
@@ -147,6 +154,32 @@ class ReplicatedDatabase:
             if isinstance(unwrap_endpoint(endpoint), OptimisticAtomicBroadcast):
                 endpoint.fill_safe = self._position_uncommitted_everywhere
 
+        self.failure_detectors: Dict[SiteId, FailureDetector] = {}
+        self._governor: Optional[SuspicionFailoverGovernor] = None
+        if config.failure_detection is not None:
+            detection = config.failure_detection
+            for site_id in site_ids:
+                detector = FailureDetector(
+                    self.kernel,
+                    self.transport,
+                    site_id,
+                    heartbeat_interval=detection.heartbeat_interval,
+                    initial_timeout=detection.initial_timeout,
+                    timeout_increment=detection.timeout_increment,
+                    group=site_ids,
+                )
+                self._dispatchers[site_id].register_kind(
+                    HEARTBEAT_KIND, detector.on_envelope
+                )
+                detector.start()
+                self.failure_detectors[site_id] = detector
+            self._governor = SuspicionFailoverGovernor(
+                site_ids,
+                self.failure_detectors,
+                self._on_coordinator_elected,
+                quorum=detection.quorum,
+            )
+
     def _position_uncommitted_everywhere(self, position: int) -> bool:
         """Whether no replica's durable redo log records ``position``."""
         return not any(
@@ -185,10 +218,32 @@ class ReplicatedDatabase:
             # The crashed process loses its volatile state before anything
             # else reacts to the membership change.
             self.replicas[site_id].on_crash()
-            if site_id == self._current_coordinator and up_sites:
+            if self._governor is not None:
+                # Suspicion mode: the dead process stops heartbeating (its
+                # detector dies with it) and the governor re-elects once the
+                # survivors' suspicions condemn it — the crash manager only
+                # injected the fault, it does not promote anyone.
+                self.failure_detectors[site_id].stop()
+                self._governor.site_down(site_id)
+            elif site_id == self._current_coordinator and up_sites:
                 self._current_coordinator = up_sites[0]
                 for endpoint in self._broadcasts.values():
                     self._point_endpoint_at_coordinator(endpoint)
+            return
+        if self._governor is not None:
+            # The recovered site adopts whatever the governor last decided,
+            # then rejoins; its fresh detector state is announced (reset
+            # notifies lifted suspicions) before the governor re-evaluates —
+            # under the Ω rule a recovered lowest-ranked site reclaims the
+            # role once it is live and no quorum suspects it.
+            self._point_endpoint_at_coordinator(self._broadcasts[site_id])
+            self.replicas[site_id].on_recover(
+                [self.replicas[peer] for peer in up_sites]
+            )
+            detector = self.failure_detectors[site_id]
+            detector.reset()
+            detector.start()
+            self._governor.site_up(site_id)
             return
         if not self.crash_manager.is_up(self._current_coordinator):
             # The recovering site rejoins a group whose coordinator is still
@@ -201,6 +256,40 @@ class ReplicatedDatabase:
         self.replicas[site_id].on_recover(
             [self.replicas[peer] for peer in up_sites]
         )
+
+    def _on_coordinator_elected(self, new_coordinator: SiteId) -> None:
+        """Execute the view change the suspicion governor decided.
+
+        The change is atomic across the group (every endpoint repoints in
+        this one simulation event), standing in for the consensus round the
+        paper's fallback runs among the live sites.  Before anyone repoints,
+        the incoming coordinator's position counter is raised to the highest
+        counter observed in the group — the view change's state exchange —
+        so positions the outgoing coordinator assigned (possibly still in
+        flight) are never handed to other messages.
+        """
+        self._current_coordinator = new_coordinator
+        floor = max(
+            endpoint.next_position_to_assign
+            for endpoint in self._broadcasts.values()
+        )
+        self._broadcasts[new_coordinator].ensure_assign_floor(floor)
+        for endpoint in self._broadcasts.values():
+            self._point_endpoint_at_coordinator(endpoint)
+        if self.config.tracer is not None:
+            self.config.tracer.record(
+                self.kernel.now(), "coordinator_elected", new_coordinator
+            )
+
+    def stop_failure_detectors(self) -> None:
+        """Stop all heartbeat detectors (no-op in oracle mode).
+
+        Detectors tick forever by design; a harness that wants
+        ``run_until_idle`` to terminate runs the interesting window with
+        ``run(until=...)``, stops the detectors, then drains the kernel.
+        """
+        for detector in self.failure_detectors.values():
+            detector.stop()
 
     def _point_endpoint_at_coordinator(self, endpoint) -> None:
         # A batching wrapper forwards either promotion to its inner endpoint.

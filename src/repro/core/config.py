@@ -7,7 +7,8 @@ from typing import Optional
 
 from ..broadcast.batching import BatchingConfig
 from ..errors import ReplicationError
-from ..network.latency import LanMulticastLatency, LatencyModel
+from ..failure.suspicion import FailureDetectionConfig
+from ..network.latency import GeoLatency, GeoTopology, LanMulticastLatency, LatencyModel
 from ..observability.trace import TransactionTracer
 
 #: Broadcast protocol choices for the cluster.
@@ -77,6 +78,20 @@ class ClusterConfig:
         endpoints, scheduler, replica managers and crash manager.  ``None``
         (default) disables tracing; the disabled path is a single attribute
         check per hook.
+    topology:
+        A region-aware WAN link map
+        (:class:`~repro.network.latency.GeoTopology`).  When given and no
+        explicit ``latency_model`` is set, the cluster's network uses
+        :class:`~repro.network.latency.GeoLatency` over it, so per-link
+        delay depends on which regions the sender and receiver live in.
+    failure_detection:
+        When given
+        (:class:`~repro.failure.suspicion.FailureDetectionConfig`), the
+        cluster attaches one heartbeat failure detector per site and drives
+        sequencer/coordinator promotion from the detectors' suspicions
+        (quorum condemnation + Ω election) instead of the crash manager's
+        ground truth.  ``None`` (default) keeps the legacy oracle-driven
+        failover.
     """
 
     site_count: int = 4
@@ -94,6 +109,8 @@ class ClusterConfig:
     batching: Optional[BatchingConfig] = None
     medium_frame_time: float = 0.0
     tracer: Optional[TransactionTracer] = None
+    topology: Optional[GeoTopology] = None
+    failure_detection: Optional[FailureDetectionConfig] = None
 
     def __post_init__(self) -> None:
         if self.site_count < 1:
@@ -105,7 +122,12 @@ class ClusterConfig:
         if self.medium_frame_time < 0.0:
             raise ReplicationError("medium frame time cannot be negative")
         if self.latency_model is None:
-            self.latency_model = LanMulticastLatency()
+            # An explicit latency_model wins over topology (a sharded parent
+            # materialises the model once and forwards both fields).
+            if self.topology is not None:
+                self.latency_model = GeoLatency(self.topology)
+            else:
+                self.latency_model = LanMulticastLatency()
 
     def site_ids(self) -> list:
         """Return the identifiers of the cluster sites: ``N1 .. Nn``."""
@@ -145,6 +167,8 @@ class ShardingConfig:
     batching: Optional[BatchingConfig] = None
     medium_frame_time: float = 0.0
     tracer: Optional[TransactionTracer] = None
+    topology: Optional[GeoTopology] = None
+    failure_detection: Optional[FailureDetectionConfig] = None
 
     def __post_init__(self) -> None:
         if self.shard_count < 1:
@@ -158,7 +182,10 @@ class ShardingConfig:
         if self.medium_frame_time < 0.0:
             raise ReplicationError("medium frame time cannot be negative")
         if self.latency_model is None:
-            self.latency_model = LanMulticastLatency()
+            if self.topology is not None:
+                self.latency_model = GeoLatency(self.topology)
+            else:
+                self.latency_model = LanMulticastLatency()
 
     def shard_ids(self) -> list:
         """Return the identifiers of the shards: ``S1 .. Sn``."""

@@ -2,6 +2,11 @@
 
 from .crash import CrashEvent, CrashManager, CrashSchedule, LivenessListener
 from .detector import HEARTBEAT_KIND, FailureDetector, Heartbeat, SuspicionListener
+from .suspicion import (
+    CoordinatorChangeListener,
+    FailureDetectionConfig,
+    SuspicionFailoverGovernor,
+)
 
 __all__ = [
     "CrashEvent",
@@ -12,4 +17,7 @@ __all__ = [
     "Heartbeat",
     "SuspicionListener",
     "HEARTBEAT_KIND",
+    "CoordinatorChangeListener",
+    "FailureDetectionConfig",
+    "SuspicionFailoverGovernor",
 ]

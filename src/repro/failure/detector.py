@@ -12,7 +12,7 @@ atomic broadcast.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from ..network.message import Envelope
 from ..network.transport import NetworkTransport
@@ -46,6 +46,11 @@ class FailureDetector:
         Initial suspicion timeout; adapted upward on false suspicion.
     timeout_increment:
         Added to a peer's timeout each time it was wrongly suspected.
+    group:
+        The membership this detector monitors and heartbeats.  ``None``
+        (default) means every site registered with the transport; a sharded
+        deployment passes its own replica group so shards sharing one
+        transport neither heartbeat nor suspect each other's sites.
     """
 
     def __init__(
@@ -57,6 +62,7 @@ class FailureDetector:
         heartbeat_interval: float = 0.010,
         initial_timeout: float = 0.050,
         timeout_increment: float = 0.020,
+        group: Optional[Iterable[SiteId]] = None,
     ) -> None:
         self.kernel = kernel
         self.transport = transport
@@ -64,8 +70,10 @@ class FailureDetector:
         self.heartbeat_interval = heartbeat_interval
         self.initial_timeout = initial_timeout
         self.timeout_increment = timeout_increment
+        self._group: Optional[List[SiteId]] = sorted(group) if group is not None else None
         self._sequence = 0
         self._last_heard: Dict[SiteId, float] = {}
+        self._last_sequence: Dict[SiteId, int] = {}
         self._timeouts: Dict[SiteId, float] = {}
         self._suspected: Set[SiteId] = set()
         self._listeners: List[SuspicionListener] = []
@@ -85,7 +93,7 @@ class FailureDetector:
             return
         self._started = True
         now = self.kernel.now()
-        for peer in self.transport.sites():
+        for peer in self._members():
             if peer != self.site_id:
                 self._last_heard.setdefault(peer, now)
                 self._timeouts.setdefault(peer, self.initial_timeout)
@@ -112,6 +120,16 @@ class FailureDetector:
             self._notify(peer, suspected=False)
 
     # --------------------------------------------------------------- queries
+    def _members(self) -> List[SiteId]:
+        """The membership this detector monitors (group or whole transport)."""
+        if self._group is not None:
+            return list(self._group)
+        return self.transport.sites()
+
+    def timeout_for(self, peer: SiteId) -> float:
+        """Current suspicion timeout of ``peer`` (grows on false suspicion)."""
+        return self._timeouts.get(peer, self.initial_timeout)
+
     def is_suspected(self, peer: SiteId) -> bool:
         """Return whether ``peer`` is currently suspected to have crashed."""
         return peer in self._suspected
@@ -124,7 +142,7 @@ class FailureDetector:
         """Return all sites (including self) currently believed to be up."""
         return [
             site
-            for site in self.transport.sites()
+            for site in self._members()
             if site == self.site_id or site not in self._suspected
         ]
 
@@ -141,7 +159,7 @@ class FailureDetector:
         heartbeat = envelope.payload
         if not isinstance(heartbeat, Heartbeat):
             return False
-        self._on_heartbeat(heartbeat.origin)
+        self._on_heartbeat(heartbeat)
         return True
 
     # -------------------------------------------------------------- internal
@@ -153,11 +171,20 @@ class FailureDetector:
             self.site_id,
             Heartbeat(origin=self.site_id, sequence=self._sequence),
             kind=HEARTBEAT_KIND,
+            destinations=self._group,
             include_sender=False,
         )
         self._check_timeouts()
 
-    def _on_heartbeat(self, peer: SiteId) -> None:
+    def _on_heartbeat(self, heartbeat: Heartbeat) -> None:
+        peer = heartbeat.origin
+        # Heartbeats can arrive out of order (a partition heal flushes every
+        # held envelope at once).  Only a heartbeat *newer* than anything seen
+        # from the peer is evidence of liveness; a stale one must not rewind
+        # ``_last_heard`` or lift a suspicion.
+        if heartbeat.sequence <= self._last_sequence.get(peer, 0):
+            return
+        self._last_sequence[peer] = heartbeat.sequence
         self._last_heard[peer] = self.kernel.now()
         self._timeouts.setdefault(peer, self.initial_timeout)
         if peer in self._suspected:

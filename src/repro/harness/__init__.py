@@ -7,6 +7,7 @@ from .experiments import (
     chaos_resilience_experiment,
     conflict_experiment,
     figure1_spontaneous_order,
+    geo_divergence_experiment,
     lazy_comparison_experiment,
     optimism_tradeoff_experiment,
     overlap_experiment,
@@ -41,6 +42,7 @@ __all__ = [
     "chaos_resilience_experiment",
     "conflict_experiment",
     "figure1_spontaneous_order",
+    "geo_divergence_experiment",
     "lazy_comparison_experiment",
     "optimism_tradeoff_experiment",
     "overlap_experiment",

@@ -10,6 +10,7 @@ from .experiments import (
     chaos_resilience_experiment,
     conflict_experiment,
     figure1_spontaneous_order,
+    geo_divergence_experiment,
     lazy_comparison_experiment,
     optimism_tradeoff_experiment,
     overlap_experiment,
@@ -34,6 +35,9 @@ FAST_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "queries": lambda: query_experiment(queries_per_site_values=(0, 20), updates_per_site=20),
     "scalability": lambda: scalability_experiment(site_counts=(2, 4, 6), updates_per_site=20),
     "chaos": lambda: chaos_resilience_experiment(seeds=(1, 2)),
+    "geo": lambda: geo_divergence_experiment(
+        cross_base_ms=(0.5, 2.0, 10.0), updates_per_site=20
+    ),
     "batching": lambda: batching_ablation_experiment(
         batch_windows_ms=(None, 2.0),
         submission_intervals_ms=(1.0, 0.25),
@@ -51,6 +55,7 @@ FULL_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "queries": query_experiment,
     "scalability": scalability_experiment,
     "chaos": chaos_resilience_experiment,
+    "geo": geo_divergence_experiment,
     "batching": batching_ablation_experiment,
 }
 

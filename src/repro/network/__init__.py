@@ -7,8 +7,11 @@ the probability of spontaneous total order (paper Figure 1).
 
 from .latency import (
     ConstantLatency,
+    GeoLatency,
+    GeoTopology,
     LanMulticastLatency,
     LatencyModel,
+    LinkProfile,
     NormalLatency,
     UniformLatency,
     WanLatency,
@@ -19,8 +22,11 @@ from .transport import NetworkTransport, ReceiveHandler, TransportStats
 
 __all__ = [
     "ConstantLatency",
+    "GeoLatency",
+    "GeoTopology",
     "LanMulticastLatency",
     "LatencyModel",
+    "LinkProfile",
     "NormalLatency",
     "UniformLatency",
     "WanLatency",

@@ -18,7 +18,9 @@ the downward slope of Figure 1 as the inter-broadcast interval goes to zero.
 from __future__ import annotations
 
 import abc
+import re
 from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..errors import NetworkError
 from ..simulation.randomness import RandomStream
@@ -142,7 +144,10 @@ class WanLatency(LatencyModel):
     """A wide-area model: large base delay, large per-receiver variance.
 
     Used in ablation benchmarks to show that the optimistic approach loses its
-    edge when spontaneous total order is unlikely.
+    edge when spontaneous total order is unlikely.  The model is oblivious to
+    *which* sender talks to *which* receiver — every link looks the same; for
+    a real WAN link map (intra-DC vs cross-DC base delays per region pair)
+    use :class:`GeoLatency` over a :class:`GeoTopology`.
     """
 
     base: float = 0.020
@@ -157,3 +162,142 @@ class WanLatency(LatencyModel):
 
     def receiver_delay(self, sender: SiteId, receiver: SiteId, stream: RandomStream) -> float:
         return stream.exponential(self.variance)
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Latency profile of one class of links: base one-way delay + jitter.
+
+    ``base`` is the deterministic one-way propagation delay of the link;
+    ``jitter`` is the mean of the exponential per-message variation on top
+    (queueing, cross-traffic).
+    """
+
+    base: float
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base < 0.0 or self.jitter < 0.0:
+            raise NetworkError("link profile delays cannot be negative")
+
+
+#: Regex extracting the numeric site index from ids like ``N3`` / ``S2:N3``.
+_SITE_INDEX_RE = re.compile(r"N(\d+)$")
+
+#: Default profiles: LAN-ish intra-DC links, ~15 ms cross-DC links.
+DEFAULT_INTRA_PROFILE = LinkProfile(base=0.0004, jitter=0.0001)
+DEFAULT_CROSS_PROFILE = LinkProfile(base=0.015, jitter=0.002)
+
+
+class GeoTopology:
+    """A region-aware link map: which site lives where, what each link costs.
+
+    Every site is assigned to a named region (a datacenter); the delay of a
+    message depends on the *link* it crosses — intra-region links use the
+    ``intra`` profile, cross-region links the ``cross`` profile, and
+    individual region pairs can be overridden (``overrides``) to model
+    non-uniform WAN meshes (e.g. eu↔us cheaper than eu↔ap).  Overrides are
+    looked up directed first, then undirected, so an asymmetric route can be
+    modelled with two directed entries.
+
+    Sites can be mapped explicitly (``regions={"N1": "eu", ...}``) or striped
+    round-robin over the region list with :meth:`striped`, which derives the
+    region from the site id's numeric suffix — prefix-agnostic, so one
+    topology covers flat clusters (``N3``) and sharded ones (``S2:N3``).
+    """
+
+    def __init__(
+        self,
+        regions: Mapping[SiteId, str],
+        *,
+        intra: LinkProfile = DEFAULT_INTRA_PROFILE,
+        cross: LinkProfile = DEFAULT_CROSS_PROFILE,
+        overrides: Optional[Mapping[Tuple[str, str], LinkProfile]] = None,
+        stripes: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._regions: Dict[SiteId, str] = dict(regions)
+        self._intra = intra
+        self._cross = cross
+        self._overrides: Dict[Tuple[str, str], LinkProfile] = dict(overrides or {})
+        self._stripes: Optional[Tuple[str, ...]] = tuple(stripes) if stripes else None
+        if not self._regions and not self._stripes:
+            raise NetworkError("a geo topology needs site regions or stripes")
+
+    @classmethod
+    def striped(
+        cls,
+        regions: Sequence[str],
+        *,
+        intra: LinkProfile = DEFAULT_INTRA_PROFILE,
+        cross: LinkProfile = DEFAULT_CROSS_PROFILE,
+        overrides: Optional[Mapping[Tuple[str, str], LinkProfile]] = None,
+    ) -> "GeoTopology":
+        """Assign sites round-robin over ``regions`` by their numeric index.
+
+        Site ``N<k>`` (any prefix) lands in ``regions[(k - 1) % len(regions)]``
+        — e.g. with ``("eu", "us", "ap")``: N1→eu, N2→us, N3→ap, N4→eu...
+        """
+        if not regions:
+            raise NetworkError("striped() needs at least one region")
+        return cls({}, intra=intra, cross=cross, overrides=overrides, stripes=regions)
+
+    # --------------------------------------------------------------- queries
+    def region_of(self, site: SiteId) -> str:
+        """The region hosting ``site``."""
+        if site in self._regions:
+            return self._regions[site]
+        if self._stripes is not None:
+            match = _SITE_INDEX_RE.search(site)
+            if match is not None:
+                index = int(match.group(1))
+                return self._stripes[(index - 1) % len(self._stripes)]
+        raise NetworkError(f"site {site!r} is assigned to no region")
+
+    def profile(self, sender: SiteId, receiver: SiteId) -> LinkProfile:
+        """The latency profile of the link ``sender -> receiver``."""
+        origin = self.region_of(sender)
+        target = self.region_of(receiver)
+        override = self._overrides.get((origin, target))
+        if override is None:
+            override = self._overrides.get((target, origin))
+        if override is not None:
+            return override
+        return self._intra if origin == target else self._cross
+
+    def link_profiles(self) -> Tuple[LinkProfile, ...]:
+        """Every distinct profile the topology can produce."""
+        return (self._intra, self._cross, *self._overrides.values())
+
+    def one_way_spread(self) -> float:
+        """Spread between the cheapest and the dearest link's base delay.
+
+        The geo-divergence experiment uses twice this value (the RTT spread)
+        as its x-axis: the wider the spread, the earlier messages from near
+        senders overtake messages from far ones and the further spontaneous
+        order degrades.
+        """
+        bases = [profile.base for profile in self.link_profiles()]
+        return max(bases) - min(bases)
+
+
+@dataclass
+class GeoLatency(LatencyModel):
+    """Per-link latency drawn from a :class:`GeoTopology`.
+
+    Unlike :class:`WanLatency`, the delay depends on *which* link a message
+    crosses: there is no shared-medium component (datacenters do not share an
+    Ethernet segment), the whole delay is the link's base plus exponential
+    jitter, per receiver.
+    """
+
+    topology: GeoTopology
+
+    def shared_delay(self, stream: RandomStream) -> float:
+        return 0.0
+
+    def receiver_delay(self, sender: SiteId, receiver: SiteId, stream: RandomStream) -> float:
+        profile = self.topology.profile(sender, receiver)
+        delay = profile.base
+        if profile.jitter > 0.0:
+            delay += stream.exponential(profile.jitter)
+        return delay

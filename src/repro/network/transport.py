@@ -111,7 +111,7 @@ class NetworkTransport:
         self.retransmit_delay = retransmit_delay
         self.medium_frame_time = medium_frame_time
         self._medium_free_at = 0.0
-        self.partitions = PartitionController()
+        self.partitions = PartitionController(clock=kernel.now)
         self.stats = TransportStats()
         self.delivery_log: List[DeliveryRecord] = []
         self._record_deliveries = record_deliveries

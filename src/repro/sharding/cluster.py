@@ -203,6 +203,11 @@ class ShardedCluster:
         """Run until no scheduled events remain in any shard."""
         return self.kernel.run_until_idle(max_events=max_events)
 
+    def stop_failure_detectors(self) -> None:
+        """Stop every shard's heartbeat detectors (no-op in oracle mode)."""
+        for shard in self.shards.values():
+            shard.stop_failure_detectors()
+
     @property
     def now(self) -> float:
         """Current virtual time shared by all shards."""

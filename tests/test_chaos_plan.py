@@ -120,6 +120,24 @@ class TestFaultPlanBuilder:
         assert coordinator("S1").describe() == "coordinator(S1)"
         assert random_site("S1").describe() == "random_site(S1)"
 
+    def test_partition_oneway_needs_both_sides(self):
+        with pytest.raises(ChaosError):
+            FaultPlan().partition_oneway([], ["N2"], at=0.0)
+        with pytest.raises(ChaosError):
+            FaultPlan().partition_oneway(["N1"], [], at=0.0)
+        with pytest.raises(ChaosError):
+            FaultPlan().partition_oneway(["N1"], ["N2"], at=0.0, duration=0.0)
+
+    def test_partition_oneway_carries_both_target_groups(self):
+        plan = FaultPlan().partition_oneway(
+            ["N1"], [site("N2"), "N3"], at=0.1, duration=0.2
+        )
+        event = plan.events()[0]
+        assert event.action == "partition-oneway"
+        assert [target.site for target in event.targets] == ["N1"]
+        assert [target.site for target in event.receivers] == ["N2", "N3"]
+        assert plan.faults_cease_at() == pytest.approx(0.3)
+
 
 class TestFlatOrchestration:
     def submit_spread(self, cluster, count=12, spacing=0.004, sites=("N2", "N3", "N4")):
@@ -233,6 +251,84 @@ class TestFlatOrchestration:
         ChaosOrchestrator(cluster, plan).arm()
         cluster.run(until=0.100)  # stale auto-heal fired at 0.060
         assert not cluster.transport.partitions.connected("N1", "N4")
+
+    def test_oneway_partition_severs_and_auto_restores(self):
+        cluster = build_flat_cluster(seed=5)
+        self.submit_spread(cluster, sites=("N1", "N2", "N3"))
+        plan = FaultPlan("deaf").partition_oneway(
+            [site("N1")], [site("N4")], at=0.010, duration=0.050
+        )
+        orchestrator = ChaosOrchestrator(cluster, plan).arm()
+        probes = {}
+
+        def probe():
+            partitions = cluster.transport.partitions
+            probes["during"] = (
+                partitions.connected("N1", "N4"),
+                partitions.connected("N4", "N1"),
+            )
+
+        cluster.kernel.schedule_at(0.030, probe)
+        cluster.run_until_idle()
+
+        # Only the N1 -> N4 direction was dark; the reverse stayed open.
+        assert probes["during"] == (False, True)
+        assert cluster.transport.partitions.severed_links() == []
+        actions = [(fault.action, fault.sites) for fault in orchestrator.trace]
+        assert actions == [
+            ("partition-oneway", ("N1->N4",)),
+            ("heal", ("N1->N4",)),
+        ]
+        # Held envelopes were flushed on restore: N4 converges regardless.
+        assert cluster.committed_counts()["N4"] == 12
+        assert cluster.database_divergence() == {}
+
+    def test_overlapping_oneway_windows_keep_the_link_severed(self):
+        cluster = build_flat_cluster()
+        plan = (
+            FaultPlan("nested-deaf")
+            .partition_oneway(["N1"], ["N4"], at=0.010, duration=0.050)
+            .partition_oneway(["N1"], ["N4"], at=0.020, duration=0.010)
+        )
+        ChaosOrchestrator(cluster, plan).arm()
+        cluster.run(until=0.035)  # inner window ended at 0.030
+        assert not cluster.transport.partitions.connected("N1", "N4")
+        cluster.run(until=0.070)  # outer window ended at 0.060
+        assert cluster.transport.partitions.connected("N1", "N4")
+
+    def test_explicit_heal_cancels_the_open_oneway_window(self):
+        cluster = build_flat_cluster()
+        plan = (
+            FaultPlan("cancelled-deaf")
+            .partition_oneway(["N1"], ["N4"], at=0.010, duration=0.050)
+            .heal(at=0.020, targets=[site("N4")])
+            .partition_oneway(["N1"], ["N4"], at=0.030)  # open-ended
+        )
+        ChaosOrchestrator(cluster, plan).arm()
+        cluster.run(until=0.100)  # stale auto-restore fired at 0.060
+        assert not cluster.transport.partitions.connected("N1", "N4")
+
+    def test_oneway_sources_can_be_roles(self):
+        cluster = build_flat_cluster()
+        plan = FaultPlan("deaf-to-coordinator").partition_oneway(
+            [coordinator()], ["N4"], at=0.010, duration=0.030
+        )
+        orchestrator = ChaosOrchestrator(cluster, plan).arm()
+        cluster.run(until=0.020)
+        # The role resolved to N1 (the initial coordinator) at fire time.
+        assert not cluster.transport.partitions.connected("N1", "N4")
+        assert cluster.transport.partitions.connected("N4", "N1")
+        cluster.run_until_idle()
+        assert orchestrator.trace[0].sites == ("N1->N4",)
+
+    def test_oneway_collapsing_to_no_links_rejected(self):
+        cluster = build_flat_cluster()
+        plan = FaultPlan("self-deaf").partition_oneway(
+            ["N4"], ["N4"], at=0.010
+        )
+        ChaosOrchestrator(cluster, plan).arm()
+        with pytest.raises(ChaosError):
+            cluster.run_until_idle()
 
     def test_inner_window_end_leaves_no_phantom_trace_record(self):
         # The nested window's auto-revert releases nothing, so it must not

@@ -211,3 +211,106 @@ class TestFailureDetector:
         kernel.run(until=0.3)
         # N2 never hears from N1 and eventually suspects it.
         assert detectors["N2"].is_suspected("N1")
+
+    def test_stale_heartbeat_does_not_rewind_liveness(self):
+        # A heal flushes held envelopes in arrival order, so a heartbeat
+        # older than the freshest one seen can arrive *after* it.  The stale
+        # one must neither rewind _last_heard nor lift a suspicion.
+        from repro.failure.detector import Heartbeat
+
+        kernel, transport, detectors = self.build_detectors(site_count=2)
+        detector = detectors["N2"]
+        detector.start()
+        kernel.run(until=0.010)
+        detector._on_heartbeat(Heartbeat(origin="N1", sequence=5))
+        heard_at_fresh = detector._last_heard["N1"]
+        kernel.run(until=0.020)
+        detector._on_heartbeat(Heartbeat(origin="N1", sequence=3))  # stale
+        assert detector._last_heard["N1"] == heard_at_fresh
+        assert detector._last_sequence["N1"] == 5
+        # Duplicate of the freshest sequence is equally ignored.
+        kernel.run(until=0.030)
+        detector._on_heartbeat(Heartbeat(origin="N1", sequence=5))
+        assert detector._last_heard["N1"] == heard_at_fresh
+
+    def test_stale_heartbeat_does_not_lift_suspicion(self):
+        from repro.failure.detector import Heartbeat
+
+        kernel, transport, detectors = self.build_detectors(site_count=2)
+        detector = detectors["N2"]
+        detector.start()
+        detector._on_heartbeat(Heartbeat(origin="N1", sequence=8))
+        detectors["N1"].stop()  # N1 stays silent from here on
+        kernel.run(until=0.3)
+        assert detector.is_suspected("N1")
+        # A flushed stale heartbeat must not make N1 look alive again...
+        detector._on_heartbeat(Heartbeat(origin="N1", sequence=2))
+        assert detector.is_suspected("N1")
+        # ...but a genuinely newer one does, and widens the timeout.
+        detector._on_heartbeat(Heartbeat(origin="N1", sequence=9))
+        assert not detector.is_suspected("N1")
+        assert detector.timeout_for("N1") == pytest.approx(
+            detector.initial_timeout + detector.timeout_increment
+        )
+
+    def test_false_suspicion_under_latency_spike_adapts_timeout(self):
+        # A latency spike (no crash) delays heartbeats past the timeout: the
+        # peer is falsely suspected, then re-trusted when traffic recovers,
+        # and the timeout grows so an identical spike no longer misleads —
+        # the eventual-accuracy half of the ◇P contract.
+        kernel, transport, detectors = self.build_detectors(site_count=2)
+        for detector in detectors.values():
+            detector.start()
+        kernel.run(until=0.050)
+        assert not detectors["N1"].is_suspected("N2")
+        initial = detectors["N1"].timeout_for("N2")
+
+        transport.latency_model = ConstantLatency(0.120)  # >> 50 ms timeout
+        kernel.run(until=0.150)
+        assert detectors["N1"].is_suspected("N2")
+
+        transport.latency_model = ConstantLatency(0.001)
+        kernel.run(until=0.400)
+        assert not detectors["N1"].is_suspected("N2")
+        assert detectors["N1"].timeout_for("N2") > initial
+
+    def test_asymmetric_partition_yields_one_sided_suspicion(self):
+        # Sever only N1 -> N2: N2 stops hearing N1 and suspects it, while
+        # N1 keeps hearing N2 and trusts it.  Restoring the link flushes the
+        # held (stale) heartbeats and fresh ones re-establish trust.
+        kernel, transport, detectors = self.build_detectors(site_count=2)
+        for detector in detectors.values():
+            detector.start()
+        kernel.run(until=0.050)
+        transport.partitions.sever("N1", "N2", at_time=kernel.now())
+        kernel.run(until=0.200)
+        assert detectors["N2"].is_suspected("N1")
+        assert not detectors["N1"].is_suspected("N2")
+
+        transport.partitions.restore("N1", "N2", at_time=kernel.now())
+        kernel.run(until=0.500)
+        assert not detectors["N2"].is_suspected("N1")
+        assert not detectors["N1"].is_suspected("N2")
+
+    def test_detector_with_group_ignores_outside_sites(self):
+        # Two disjoint groups on one transport (the sharded layout): group
+        # detectors neither heartbeat nor monitor the other group's sites.
+        kernel, transport, dispatchers = build_cluster(site_count=4)
+        groups = {"A": ["N1", "N2"], "B": ["N3", "N4"]}
+        detectors = {}
+        for group_sites in groups.values():
+            for site in group_sites:
+                detector = FailureDetector(
+                    kernel, transport, site, group=group_sites
+                )
+                dispatchers[site].register_kind(
+                    "failure-detector.heartbeat", detector.on_envelope
+                )
+                detector.start()
+                detectors[site] = detector
+        detectors["N3"].stop()
+        detectors["N4"].stop()  # whole group B silent
+        kernel.run(until=0.4)
+        # Group A never monitored B's sites, so nothing is suspected.
+        assert detectors["N1"].suspected_sites() == set()
+        assert detectors["N1"].trusted_sites() == ["N1", "N2"]

@@ -81,6 +81,115 @@ class TestWanLatency:
             WanLatency(base=-0.01)
 
 
+class TestGeoTopology:
+    def build(self):
+        from repro.network.latency import GeoTopology, LinkProfile
+
+        return GeoTopology(
+            {"N1": "eu", "N2": "eu", "N3": "us"},
+            intra=LinkProfile(base=0.0005, jitter=0.0001),
+            cross=LinkProfile(base=0.010, jitter=0.001),
+        )
+
+    def test_same_region_uses_intra_profile(self):
+        topology = self.build()
+        assert topology.profile("N1", "N2").base == 0.0005
+
+    def test_cross_region_uses_cross_profile(self):
+        topology = self.build()
+        assert topology.profile("N1", "N3").base == 0.010
+        assert topology.profile("N3", "N1").base == 0.010
+
+    def test_region_pair_override_wins(self):
+        from repro.network.latency import GeoTopology, LinkProfile
+
+        topology = GeoTopology(
+            {"N1": "eu", "N2": "us", "N3": "ap"},
+            intra=LinkProfile(base=0.0005),
+            cross=LinkProfile(base=0.010),
+            overrides={("eu", "us"): LinkProfile(base=0.040)},
+        )
+        # The override applies in both directions unless a directed one
+        # exists for the opposite ordering; other pairs keep the default.
+        assert topology.profile("N1", "N2").base == 0.040
+        assert topology.profile("N2", "N1").base == 0.040
+        assert topology.profile("N1", "N3").base == 0.010
+
+    def test_directed_override_beats_undirected(self):
+        from repro.network.latency import GeoTopology, LinkProfile
+
+        topology = GeoTopology(
+            {"N1": "eu", "N2": "us"},
+            intra=LinkProfile(base=0.0005),
+            cross=LinkProfile(base=0.010),
+            overrides={
+                ("eu", "us"): LinkProfile(base=0.030),
+                ("us", "eu"): LinkProfile(base=0.070),
+            },
+        )
+        assert topology.profile("N1", "N2").base == 0.030
+        assert topology.profile("N2", "N1").base == 0.070
+
+    def test_striped_assignment_round_robins_by_site_index(self):
+        from repro.network.latency import GeoTopology, LinkProfile
+
+        topology = GeoTopology.striped(
+            ("eu", "us"),
+            intra=LinkProfile(base=0.0005),
+            cross=LinkProfile(base=0.010),
+        )
+        assert topology.region_of("N1") == "eu"
+        assert topology.region_of("N2") == "us"
+        assert topology.region_of("N3") == "eu"
+        # Sharded site ids stripe by the numeric suffix, prefix-agnostic.
+        assert topology.region_of("S2:N2") == "us"
+
+    def test_unknown_site_rejected(self):
+        topology = self.build()
+        with pytest.raises(NetworkError):
+            topology.region_of("garbage")
+
+    def test_one_way_spread(self):
+        topology = self.build()
+        assert topology.one_way_spread() == pytest.approx(0.010 - 0.0005)
+
+    def test_negative_profile_rejected(self):
+        from repro.network.latency import LinkProfile
+
+        with pytest.raises(NetworkError):
+            LinkProfile(base=-0.001)
+        with pytest.raises(NetworkError):
+            LinkProfile(base=0.001, jitter=-0.1)
+
+
+class TestGeoLatency:
+    def test_receiver_delay_tracks_the_link_profile(self, stream):
+        from repro.network.latency import GeoLatency, GeoTopology, LinkProfile
+
+        topology = GeoTopology(
+            {"N1": "eu", "N2": "eu", "N3": "us"},
+            intra=LinkProfile(base=0.0005, jitter=0.0),
+            cross=LinkProfile(base=0.020, jitter=0.0),
+        )
+        model = GeoLatency(topology)
+        # Zero jitter makes delays exact: intra fast, cross slow, per link.
+        assert model.receiver_delay("N1", "N2", stream) == pytest.approx(0.0005)
+        assert model.receiver_delay("N1", "N3", stream) == pytest.approx(0.020)
+
+    def test_jitter_adds_on_top_of_base(self, stream):
+        from repro.network.latency import GeoLatency, GeoTopology, LinkProfile
+
+        topology = GeoTopology(
+            {"N1": "eu", "N2": "us"},
+            intra=LinkProfile(base=0.0005, jitter=0.0001),
+            cross=LinkProfile(base=0.020, jitter=0.002),
+        )
+        model = GeoLatency(topology)
+        samples = [model.receiver_delay("N1", "N2", stream) for _ in range(200)]
+        assert all(sample >= 0.020 for sample in samples)
+        assert len(set(samples)) > 1  # jitter actually varies
+
+
 class TestEnvelope:
     def test_next_envelope_id_unique(self):
         ids = {next_envelope_id("N1") for _ in range(100)}
