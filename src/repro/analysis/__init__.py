@@ -1,0 +1,32 @@
+"""Determinism & isolation static-analysis suite.
+
+Every claim this reproduction makes — same-seed chaos reproducibility,
+batching-oblivious crash semantics, trace-signature equality, suspicion-only
+failover — rests on invariants that used to be enforced only by convention:
+randomness flows through :class:`repro.simulation.randomness.RandomStream`,
+no wall clock reaches simulation logic, tracer calls stay behind
+``tracer is not None`` guards, and a site never reads a peer's volatile
+state except through the transport or the declared recovery donor path.
+
+This package machine-checks those conventions.  It is a small, dependency-free
+AST lint engine (:mod:`.engine`) with a rule pack (:mod:`.rules`) encoding the
+codebase's load-bearing invariants, inline suppression pragmas
+(:mod:`.suppressions`) that must carry a written reason, and a baseline file
+(:mod:`.baseline`) for grandfathering.  The CLI lives in ``tools/lint.py``::
+
+    python -m tools.lint src/repro --format json
+
+See ``docs/analysis.md`` for the rule catalogue and the pragma contract.
+"""
+
+from .findings import Finding
+from .engine import LintEngine, LintReport, ModuleSource
+from .rules import default_rules
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "ModuleSource",
+    "default_rules",
+]

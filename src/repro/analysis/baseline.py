@@ -1,0 +1,94 @@
+"""Baseline files: grandfather existing findings without suppressing new ones.
+
+A baseline maps *fingerprints* of known findings to their descriptions.
+The fingerprint hashes the rule, the scope path and the **text** of the
+offending line (plus an occurrence counter for identical lines), so pure
+line-number drift does not invalidate a baseline, while any edit to the
+offending line re-surfaces the finding.  ``tools/lint.py --write-baseline``
+creates one; ``--baseline`` filters against it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def _line_text(finding: Finding, line_cache: Dict[str, List[str]]) -> str:
+    lines = line_cache.get(finding.path)
+    if lines is None:
+        try:
+            lines = Path(finding.path).read_text(encoding="utf-8").splitlines()
+        except OSError:
+            lines = []
+        line_cache[finding.path] = lines
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1].strip()
+    return ""
+
+
+def fingerprints(findings: List[Finding]) -> List[Tuple[str, Finding]]:
+    """``(fingerprint, finding)`` pairs, stable across line-number drift."""
+    line_cache: Dict[str, List[str]] = {}
+    occurrence: Dict[str, int] = {}
+    pairs: List[Tuple[str, Finding]] = []
+    for finding in findings:
+        text = _line_text(finding, line_cache)
+        base = f"{finding.rule}|{finding.scope_path}|{text}"
+        count = occurrence.get(base, 0)
+        occurrence[base] = count + 1
+        digest = hashlib.sha1(f"{base}|{count}".encode("utf-8")).hexdigest()[:16]
+        pairs.append((digest, finding))
+    return pairs
+
+
+def write_baseline(findings: List[Finding], path: str) -> int:
+    """Write a baseline of ``findings``; returns the number recorded."""
+    body = {
+        "version": BASELINE_VERSION,
+        "fingerprints": {
+            digest: {
+                "rule": finding.rule,
+                "path": finding.scope_path,
+                "message": finding.message,
+            }
+            for digest, finding in fingerprints(findings)
+        },
+    }
+    Path(path).write_text(
+        json.dumps(body, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(body["fingerprints"])
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, str]]:
+    """Load a baseline file; raises ``ValueError`` on version mismatch."""
+    body = json.loads(Path(path).read_text(encoding="utf-8"))
+    if body.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path}: unsupported version {body.get('version')!r}"
+        )
+    return dict(body.get("fingerprints", {}))
+
+
+def filter_baselined(
+    findings: List[Finding], baseline: Dict[str, Dict[str, str]]
+) -> Tuple[List[Finding], int]:
+    """Drop findings whose fingerprint is in ``baseline``.
+
+    Returns ``(fresh_findings, baselined_count)``.
+    """
+    fresh: List[Finding] = []
+    matched = 0
+    for digest, finding in fingerprints(findings):
+        if digest in baseline:
+            matched += 1
+        else:
+            fresh.append(finding)
+    return fresh, matched

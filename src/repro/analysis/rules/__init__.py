@@ -1,0 +1,40 @@
+"""The invariant rule pack.
+
+:func:`default_rules` builds the pack the CLI runs; each rule's module
+docstring explains the invariant it protects and the PR that motivated it
+(catalogued in ``docs/analysis.md``).  Tests build narrower packs by
+constructing rules directly with custom allowlists.
+"""
+
+from typing import List
+
+from .base import Rule
+from .wallclock import NoWallclockRule
+from .randomness import SeededRandomnessRule
+from .iteration import NoUnorderedIterationRule
+from .tracerguard import TracerGuardRule
+from .oracle import NoCrossSiteOracleRule
+from .hotpath import KernelHotPathAllocationRule
+
+__all__ = [
+    "Rule",
+    "NoWallclockRule",
+    "SeededRandomnessRule",
+    "NoUnorderedIterationRule",
+    "TracerGuardRule",
+    "NoCrossSiteOracleRule",
+    "KernelHotPathAllocationRule",
+    "default_rules",
+]
+
+
+def default_rules() -> List[Rule]:
+    """The full invariant pack with the codebase's declared allowlists."""
+    return [
+        NoWallclockRule(),
+        SeededRandomnessRule(),
+        NoUnorderedIterationRule(),
+        TracerGuardRule(),
+        NoCrossSiteOracleRule(),
+        KernelHotPathAllocationRule(),
+    ]

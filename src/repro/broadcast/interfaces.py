@@ -14,9 +14,12 @@ from __future__ import annotations
 import abc
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set
 
 from ..types import MessageId, SiteId
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..observability.trace import TransactionTracer
 
 _BROADCAST_COUNTER = itertools.count(1)
 
@@ -126,7 +129,7 @@ class AtomicBroadcastEndpoint(abc.ABC):
         self.stats = BroadcastStats()
         #: Optional :class:`~repro.observability.trace.TransactionTracer`;
         #: ``None`` (the default) keeps the endpoint trace-free.
-        self.tracer = None
+        self.tracer: Optional[TransactionTracer] = None
         self._opt_listeners: List[DeliveryListener] = []
         self._to_listeners: List[DeliveryListener] = []
         #: Per-site log of delivered messages, in delivery order.  Used by the

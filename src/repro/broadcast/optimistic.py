@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set
 
 from ..errors import BroadcastError
 from ..network.dispatcher import SiteDispatcher
+from ..network.message import Envelope
 from ..network.transport import NetworkTransport
 from ..simulation.kernel import SimulationKernel
 from ..types import MessageId, SiteId
@@ -438,7 +439,7 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
             self.site_id, announce, kind=OPTIMISTIC_ANNOUNCE_KIND, destinations=self.group
         )
 
-    def _on_announce_envelope(self, envelope) -> bool:
+    def _on_announce_envelope(self, envelope: Envelope) -> bool:
         announce = envelope.payload
         if not isinstance(announce, OptimisticAnnounce):
             return False
@@ -561,7 +562,7 @@ class OptimisticAtomicBroadcast(AtomicBroadcastEndpoint):
         if self.is_coordinator:
             self._schedule_fill(position, message_id)
 
-    def _on_solicit_envelope(self, envelope) -> bool:
+    def _on_solicit_envelope(self, envelope: Envelope) -> bool:
         solicit = envelope.payload
         if not isinstance(solicit, DataSolicit):
             return False

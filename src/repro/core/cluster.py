@@ -199,7 +199,7 @@ class ReplicatedDatabase:
         except KeyError:
             raise ReplicationError(f"unknown site {site_id!r}") from None
 
-    def broadcast_endpoint(self, site_id: SiteId):
+    def broadcast_endpoint(self, site_id: SiteId) -> Any:
         """Return the atomic broadcast endpoint of ``site_id``."""
         return self._broadcasts[site_id]
 
@@ -291,7 +291,7 @@ class ReplicatedDatabase:
         for detector in self.failure_detectors.values():
             detector.stop()
 
-    def _point_endpoint_at_coordinator(self, endpoint) -> None:
+    def _point_endpoint_at_coordinator(self, endpoint: Any) -> None:
         # A batching wrapper forwards either promotion to its inner endpoint.
         if isinstance(unwrap_endpoint(endpoint), OptimisticAtomicBroadcast):
             endpoint.set_coordinator(self._current_coordinator)

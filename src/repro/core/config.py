@@ -206,7 +206,7 @@ class ShardingConfig:
         shared = {field_.name for field_ in fields(ClusterConfig)} & {
             field_.name for field_ in fields(ShardingConfig)
         }
-        kwargs = {name: getattr(self, name) for name in shared}
+        kwargs = {name: getattr(self, name) for name in sorted(shared)}
         kwargs["site_count"] = self.sites_per_shard
         kwargs["site_prefix"] = f"{self.shard_ids()[shard_index]}:"
         return ClusterConfig(**kwargs)

@@ -16,7 +16,7 @@ from ..broadcast.interfaces import AtomicBroadcastEndpoint, BroadcastMessage, No
 from ..database.conflict import ConflictClassMap
 from ..database.history import CommittedTransaction, SiteHistory
 from ..database.procedures import ProcedureRegistry, StoredProcedure
-from ..database.recovery import RedoLog
+from ..database.recovery import RedoLog, RedoRecord
 from ..database.snapshots import SnapshotManager
 from ..database.storage import MultiVersionStore
 from ..database.transaction import (
@@ -498,7 +498,7 @@ class ReplicaManager:
         own_indices = self.history.global_indices()
         transferred = 0
         touched_classes = set()
-        redo_by_index: Dict[int, List] = {}
+        redo_by_index: Dict[int, List[RedoRecord]] = {}
         for record in donor.redo_log.records_after(after_index, up_to=up_to):
             redo_by_index.setdefault(record.index, []).append(record)
         for committed in donor.history.commits_in_index_range(after_index, up_to):

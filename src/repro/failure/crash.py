@@ -9,12 +9,15 @@ recovery events against the transport and notifies interested components
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..errors import NetworkError
 from ..simulation.kernel import SimulationKernel
 from ..network.transport import NetworkTransport
 from ..types import SiteId
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..observability.trace import TransactionTracer
 
 #: Callback invoked with ``(site_id, up)`` whenever liveness changes.
 LivenessListener = Callable[[SiteId, bool], None]
@@ -67,7 +70,7 @@ class CrashManager:
         self._crash_counts: Dict[SiteId, int] = {}
         #: Optional :class:`~repro.observability.trace.TransactionTracer`;
         #: records ``site_down``/``site_up`` liveness events when attached.
-        self.tracer = None
+        self.tracer: Optional[TransactionTracer] = None
 
     # --------------------------------------------------------------- queries
     def is_up(self, site: SiteId) -> bool:

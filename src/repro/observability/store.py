@@ -23,12 +23,12 @@ import json
 import re
 import sqlite3
 import subprocess
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional
 
 from ..errors import SimulationError
+from .wallclock import wall_clock
 
 #: Default on-disk location (relative to the working directory).
 DEFAULT_RESULTS_DIR = "bench_results"
@@ -125,11 +125,20 @@ class ResultsStore:
     """SQLite-backed store of experiment/benchmark runs.
 
     ``path`` may be ``":memory:"`` (tests, doctests) or a filesystem path
-    whose parent directories are created on demand.
+    whose parent directories are created on demand.  ``clock`` supplies the
+    ``created_at`` provenance stamp of each recorded run; it defaults to the
+    declared wall-clock boundary (:mod:`repro.observability.wallclock`) and
+    is injectable so stored stamps are testable.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(
+        self,
+        path: str = ":memory:",
+        *,
+        clock: Callable[[], float] = wall_clock,
+    ) -> None:
         self.path = str(path)
+        self._clock = clock
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
         self._connection = sqlite3.connect(self.path)
@@ -155,7 +164,7 @@ class ResultsStore:
         clean_metrics = {key: float(value) for key, value in metrics.items()}
         record_hash = config_hash(config)
         rev = git_rev if git_rev is not None else current_git_rev()
-        stamp = created_at if created_at is not None else time.time()
+        stamp = created_at if created_at is not None else self._clock()
         cursor = self._connection.execute(
             "INSERT INTO runs (name, created_at, config_hash, git_rev, seed, config_json)"
             " VALUES (?, ?, ?, ?, ?, ?)",

@@ -1,0 +1,29 @@
+"""The declared wall-clock boundary.
+
+Simulation logic must never read the machine's clock — every timestamp
+inside a run comes from ``kernel.now()`` so that same-seed runs are
+bit-identical (the ``no-wallclock`` lint rule enforces this).  Provenance
+metadata is the one legitimate exception: a results-store record's
+``created_at`` stamp describes when the *experiment* ran in the real world,
+not anything inside the simulated one.
+
+This module is that exception's single home.  Components that need a real
+timestamp accept an injectable ``clock: Callable[[], float]`` defaulting to
+:data:`WALL_CLOCK`; tests inject a fake.  The module is allowlisted in the
+``no-wallclock`` rule — wall-clock reads anywhere else in ``src/repro``
+(outside ``harness/profiling.py``, which measures hardware on purpose) are
+lint findings.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: The sanctioned wall-clock callable: seconds since the Unix epoch.
+WALL_CLOCK: Callable[[], float] = time.time
+
+
+def wall_clock() -> float:
+    """Read the real-world clock (provenance stamps only — never sim logic)."""
+    return WALL_CLOCK()

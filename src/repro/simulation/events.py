@@ -145,6 +145,7 @@ class EventQueue:
         event is left in the queue in that case).
         """
         heap = self._heap
+        # repro: hot-path (heap traversal under the kernel dispatch loop)
         while heap:
             event = heap[0]
             if event.cancelled:

@@ -113,6 +113,7 @@ class SimulationKernel:
         advance = self.clock.advance_to
         hooks = self._trace_hooks
         try:
+            # repro: hot-path (kernel dispatch loop — lint bans allocation here)
             while not self._stopped:
                 if max_events is not None and executed >= max_events:
                     break

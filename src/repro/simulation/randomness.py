@@ -9,6 +9,7 @@ for the sweep-style experiments of the paper.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Dict, Iterable, Sequence, TypeVar
 
@@ -113,7 +114,12 @@ class RandomSource:
     def fork(self, salt: str) -> "RandomSource":
         """Return a new source whose seed is derived from this one and ``salt``.
 
-        Used when an experiment runs several independent repetitions.
+        Used when an experiment runs several independent repetitions.  The
+        derivation is a content hash, not the builtin ``hash`` — string
+        hashing is randomised per process (``PYTHONHASHSEED``), so a builtin
+        hash would give every *invocation* different forked seeds and
+        silently break cross-run reproducibility.
         """
-        derived = hash((self.seed, salt)) & 0x7FFFFFFF
+        digest = hashlib.sha256(f"{self.seed}/{salt}".encode("utf-8")).digest()
+        derived = int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
         return RandomSource(derived)

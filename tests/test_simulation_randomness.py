@@ -40,6 +40,38 @@ class TestReproducibility:
         fork_two = RandomSource(9).fork("rep-1").stream("s")
         assert [fork_one.random() for _ in range(5)] == [fork_two.random() for _ in range(5)]
 
+    def test_fork_is_deterministic_across_processes(self):
+        # Regression: fork() used to derive the child seed with the builtin
+        # hash(), whose string hashing is randomised per process
+        # (PYTHONHASHSEED) — every *invocation* got different forked streams.
+        # The content-hash derivation must give the same draws under any
+        # hash seed.
+        import os
+        import subprocess
+        import sys
+
+        snippet = (
+            "from repro.simulation.randomness import RandomSource;"
+            "s = RandomSource(9).fork('rep-1').stream('s');"
+            "print([s.randint(0, 10**9) for _ in range(5)])"
+        )
+        outputs = []
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            src_dir = os.path.join(os.path.dirname(__file__), "..", "src")
+            env["PYTHONPATH"] = os.path.abspath(src_dir)
+            completed = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=60,
+            )
+            assert completed.returncode == 0, completed.stderr
+            outputs.append(completed.stdout.strip())
+        assert outputs[0] == outputs[1]
+
 
 class TestDistributions:
     def test_uniform_within_bounds(self):

@@ -1,0 +1,12 @@
+"""Developer tools runnable as modules (``python -m tools.lint``).
+
+The package keeps ``src`` on ``sys.path`` so the tools work from a plain
+checkout without installation, matching the pytest ``pythonpath`` setting.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,86 @@
+"""Strict type-check gate over the typed core.
+
+Runs mypy (configured via ``[tool.mypy]`` in ``pyproject.toml``) over the
+packages that form the deterministic heart of the reproduction:
+``repro.simulation``, ``repro.broadcast``, ``repro.core`` and
+``repro.failure``.  The per-module overrides in ``pyproject.toml`` apply the
+strict flag set to exactly those packages, so this wrapper only needs to point
+mypy at the right trees.
+
+mypy is an optional tool dependency (the ``test`` extra).  In environments
+where it is not installed the gate exits 0 with a notice rather than failing —
+CI installs mypy explicitly, so the gate is enforced where it matters.
+
+Usage::
+
+    python -m tools.typecheck            # check the typed core
+    python -m tools.typecheck --verbose  # echo the mypy invocation
+
+Exit codes: 0 = clean (or mypy unavailable), 1 = type errors, 2 = usage or
+engine error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Packages held to the strict flag set (mirrors the pyproject overrides).
+TYPED_CORE = (
+    "src/repro/simulation",
+    "src/repro/broadcast",
+    "src/repro/core",
+    "src/repro/failure",
+)
+
+
+def mypy_available() -> bool:
+    """Whether mypy is importable in this interpreter."""
+    return importlib.util.find_spec("mypy") is not None
+
+
+def run_typecheck(*, verbose: bool = False) -> int:
+    """Run mypy over the typed core; returns a process-style exit code."""
+    if not mypy_available():
+        print(
+            "typecheck: mypy is not installed; skipping the typed-core gate "
+            "(install the `test` extra to enable it)."
+        )
+        return 0
+    targets = [str(REPO_ROOT / rel) for rel in TYPED_CORE]
+    command: List[str] = [
+        sys.executable,
+        "-m",
+        "mypy",
+        "--config-file",
+        str(REPO_ROOT / "pyproject.toml"),
+        *targets,
+    ]
+    if verbose:
+        print("typecheck: " + " ".join(command))
+    completed = subprocess.run(command, cwd=str(REPO_ROOT))
+    return completed.returncode
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.typecheck",
+        description="Strict mypy gate over the typed core packages.",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="echo the underlying mypy invocation",
+    )
+    options = parser.parse_args(argv)
+    return run_typecheck(verbose=options.verbose)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
