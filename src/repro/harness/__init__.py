@@ -17,6 +17,13 @@ from .experiments import (
     scalability_experiment,
     sharded_scalability_experiment,
 )
+from .design import Design, RunSpec, derive_run_seed
+from .parallel import (
+    RunFailure,
+    SweepError,
+    SweepExecutor,
+    SweepReport,
+)
 from .profiling import (
     HotpathProfile,
     hotspots,
@@ -30,10 +37,19 @@ from .runner import (
     FAST_EXPERIMENTS,
     FULL_EXPERIMENTS,
     ExperimentSuiteResult,
+    record_suite_timings,
     run_experiments,
 )
 
 __all__ = [
+    "Design",
+    "RunSpec",
+    "derive_run_seed",
+    "RunFailure",
+    "SweepError",
+    "SweepExecutor",
+    "SweepReport",
+    "record_suite_timings",
     "RunSummary",
     "ShardedRunSummary",
     "run_sharded_workload",

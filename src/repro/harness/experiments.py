@@ -13,7 +13,6 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..baselines.conservative import conservative_config
 from ..baselines.lazy import LazyReplicatedDatabase
-from ..broadcast.batching import BatchingConfig
 from ..broadcast.spontaneous import (
     PeriodicMulticastSource,
     order_agreement,
@@ -21,7 +20,6 @@ from ..broadcast.spontaneous import (
     tentative_vs_definitive_mismatch,
 )
 from ..chaos.scenarios import SCENARIOS as CHAOS_SCENARIOS
-from ..chaos.scenarios import ChaosRunResult, run_chaos_scenario
 from ..core.cluster import ReplicatedDatabase
 from ..core.config import (
     BROADCAST_CONSERVATIVE,
@@ -30,14 +28,8 @@ from ..core.config import (
     ShardingConfig,
 )
 from ..metrics.stats import mean, summarize
-from ..network.latency import (
-    DEFAULT_INTRA_PROFILE,
-    GeoTopology,
-    LanMulticastLatency,
-    LinkProfile,
-)
+from ..network.latency import DEFAULT_INTRA_PROFILE, LanMulticastLatency
 from ..network.transport import NetworkTransport
-from ..observability.registry import derive_metrics
 from ..sharding.cluster import ShardedCluster
 from ..sharding.metrics import ShardedMetricsReport, aggregate_shard_metrics
 from ..simulation.clock import milliseconds, to_milliseconds
@@ -60,6 +52,8 @@ from ..workloads.sharded import (
     build_shard_map,
 )
 from ..workloads.specs import WorkloadSpec
+from .design import Design
+from .parallel import SweepExecutor
 from .results import ExperimentResult
 
 # --------------------------------------------------------------------------
@@ -483,6 +477,7 @@ def geo_divergence_experiment(
     execution_ms: float = 0.5,
     cross_jitter_fraction: float = 0.15,
     seed: int = 7,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Sweep the cross-region link delay of a striped WAN topology.
 
@@ -497,6 +492,8 @@ def geo_divergence_experiment(
     divergence rate (via :func:`~repro.observability.registry.derive_metrics`)
     against the resulting round-trip spread.  Divergence must grow with the
     spread; 1-copy-serializability must hold in every cell regardless.
+    ``jobs>1`` fans the delay cells across processes with a result table
+    identical to ``jobs=1``.
     """
     result = ExperimentResult(
         name="Geo divergence — opt/TO divergence vs. WAN link spread",
@@ -516,43 +513,23 @@ def geo_divergence_experiment(
             "seed": seed,
         },
     )
-    for cross_ms in cross_base_ms:
-        topology = GeoTopology.striped(
-            tuple(regions),
-            intra=DEFAULT_INTRA_PROFILE,
-            cross=LinkProfile(
-                base=milliseconds(cross_ms),
-                jitter=cross_jitter_fraction * milliseconds(cross_ms),
-            ),
-        )
-        spec = WorkloadSpec(
-            class_count=class_count,
-            updates_per_site=updates_per_site,
-            update_interval=update_interval,
-            update_duration=milliseconds(execution_ms),
-        )
-        cluster = ReplicatedDatabase(
-            ClusterConfig(site_count=site_count, seed=seed, topology=topology),
-            build_partitioned_registry(spec),
-            conflict_map=build_conflict_map(spec),
-            initial_data=build_initial_data(spec),
-        )
-        WorkloadGenerator(spec).apply(cluster)
-        cluster.run_until_idle()
-        cluster.check_scheduler_invariants()
-        derived = derive_metrics(cluster)
-        one_copy = check_one_copy_serializability(cluster.histories())
-        ordering_delays: List[float] = []
-        for replica in cluster.replicas.values():
-            ordering_delays.extend(replica.metrics.latency("ordering_delay").samples)
-        result.add_row(
-            cross_base_ms=cross_ms,
-            rtt_spread_ms=2.0 * to_milliseconds(topology.one_way_spread()),
-            opt_to_divergence_pct=100.0 * derived.opt_to_divergence_rate,
-            ordering_delay_ms=to_milliseconds(mean(ordering_delays)),
-            committed=derived.commits,
-            one_copy_ok=one_copy.ok,
-        )
+    design = Design(
+        name="geo_divergence",
+        factors={"cross_base_ms": tuple(cross_base_ms)},
+        base={
+            "regions": list(regions),
+            "site_count": site_count,
+            "updates_per_site": updates_per_site,
+            "class_count": class_count,
+            "update_interval": update_interval,
+            "execution_ms": execution_ms,
+            "cross_jitter_fraction": cross_jitter_fraction,
+            "seed": seed,
+        },
+    )
+    report = SweepExecutor(jobs=jobs).run(design, "repro.harness.cells:geo_cell")
+    for row in report.require_rows():
+        result.add_row(**row)
     result.notes.append(
         "The divergence rate is what the CC8 reordering rule has to repair: "
         "it should rise monotonically with the round-trip spread while "
@@ -874,6 +851,7 @@ def batching_ablation_experiment(
     max_batch_size: int = 32,
     medium_frame_time: float = DEFAULT_BATCHING_FRAME_TIME,
     seed: int = 7,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Sweep the batching window against the submission rate.
 
@@ -887,6 +865,11 @@ def batching_ablation_experiment(
     batching is a no-op apart from the (bounded) added coalescing latency.
     Correctness is orthogonal — every run is checked for
     1-copy-serializability and the five broadcast properties.
+
+    The sweep is a factorial :class:`~repro.harness.design.Design`
+    (interval x window) executed by a
+    :class:`~repro.harness.parallel.SweepExecutor`; ``jobs>1`` fans the
+    cells across processes with a result table identical to ``jobs=1``.
     """
     result = ExperimentResult(
         name="Batching ablation — window x submission rate",
@@ -905,53 +888,42 @@ def batching_ablation_experiment(
             "seed": seed,
         },
     )
-    for interval_ms in submission_intervals_ms:
-        baseline_tps: Optional[float] = None
-        for window_ms in batch_windows_ms:
-            spec = WorkloadSpec(
-                class_count=class_count,
-                updates_per_site=updates_per_site,
-                update_interval=milliseconds(interval_ms),
-                update_duration=milliseconds(execution_ms),
-            )
-            batching = (
-                None
-                if window_ms is None
-                else BatchingConfig(
-                    window=milliseconds(window_ms), max_batch_size=max_batch_size
-                )
-            )
-            summary = run_standard_workload(
-                ClusterConfig(
-                    site_count=site_count,
-                    seed=seed,
-                    broadcast=BROADCAST_OPTIMISTIC,
-                    batching=batching,
-                    medium_frame_time=medium_frame_time,
-                ),
-                spec,
-            )
-            if window_ms is None:
-                baseline_tps = summary.throughput_tps
-            # No unbatched cell ran (yet) for this interval: report no
-            # speedup rather than a misleading 1.0.
-            speedup = (
-                summary.throughput_tps / baseline_tps
-                if baseline_tps is not None and baseline_tps > 0
-                else None
-            )
-            result.add_row(
-                interval_ms=interval_ms,
-                window_ms=0.0 if window_ms is None else window_ms,
-                batching="off" if window_ms is None else "on",
-                throughput_tps=summary.throughput_tps,
-                speedup_vs_off=speedup,
-                committed=summary.committed,
-                latency_ms=to_milliseconds(summary.mean_client_latency),
-                reorder_aborts=summary.reorder_aborts,
-                one_copy_ok=summary.one_copy_ok,
-                broadcast_ok=summary.broadcast_ok,
-            )
+    design = Design(
+        name="batching_ablation",
+        factors={
+            "interval_ms": tuple(submission_intervals_ms),
+            "window_ms": tuple(batch_windows_ms),
+        },
+        base={
+            "site_count": site_count,
+            "updates_per_site": updates_per_site,
+            "class_count": class_count,
+            "execution_ms": execution_ms,
+            "max_batch_size": max_batch_size,
+            "medium_frame_time": medium_frame_time,
+            "seed": seed,
+        },
+    )
+    report = SweepExecutor(jobs=jobs).run(design, "repro.harness.cells:batching_cell")
+    # Speedup-vs-off is the one cross-cell column: fill it in after the
+    # ordered merge, against the unbatched cell of the same interval.
+    current_interval: object = object()
+    baseline_tps: Optional[float] = None
+    for row in report.require_rows():
+        if row["interval_ms"] != current_interval:
+            current_interval = row["interval_ms"]
+            baseline_tps = None
+        throughput = float(row["throughput_tps"])  # type: ignore[arg-type]
+        if row["batching"] == "off":
+            baseline_tps = throughput
+        # No unbatched cell ran (yet) for this interval: report no
+        # speedup rather than a misleading 1.0.
+        row["speedup_vs_off"] = (
+            throughput / baseline_tps
+            if baseline_tps is not None and baseline_tps > 0
+            else None
+        )
+        result.add_row(**row)
     result.notes.append(
         "At the smallest interval the medium is saturated by ordering "
         "traffic; batching multiplies throughput (the acceptance gate is "
@@ -975,6 +947,7 @@ DEFAULT_CHAOS_SEEDS: Tuple[int, ...] = (1, 2, 3, 4, 5)
 def chaos_resilience_experiment(
     scenario_names: Optional[Sequence[str]] = None,
     seeds: Sequence[int] = DEFAULT_CHAOS_SEEDS,
+    jobs: int = 1,
     **sizing,
 ) -> ExperimentResult:
     """Run the chaos scenario library across a seed sweep and verify each run.
@@ -986,6 +959,9 @@ def chaos_resilience_experiment(
     asserts that every run still satisfies per-shard
     1-copy-serializability, cross-shard query snapshot consistency, and
     eventual termination of all submitted transactions once faults cease.
+
+    The sweep is a (scenario x seed) factorial design; ``jobs>1`` fans the
+    cells across processes with a result table identical to ``jobs=1``.
     """
     names = list(scenario_names) if scenario_names is not None else sorted(CHAOS_SCENARIOS)
     result = ExperimentResult(
@@ -997,20 +973,14 @@ def chaos_resilience_experiment(
         ),
         parameters={"scenarios": names, "seeds": list(seeds)},
     )
-    for name in names:
-        for seed in seeds:
-            run: ChaosRunResult = run_chaos_scenario(name, seed=seed, **sizing)
-            result.add_row(
-                scenario=name,
-                seed=seed,
-                faults_injected=run.faults_injected,
-                committed=run.committed,
-                submitted=run.submitted_updates,
-                one_copy_ok=run.one_copy_ok,
-                queries_consistent=run.queries_consistent,
-                liveness_ok=run.liveness_ok,
-                faults_cease_at_ms=to_milliseconds(run.faults_cease_at),
-            )
+    design = Design(
+        name="chaos_resilience",
+        factors={"scenario": tuple(names), "seed": tuple(seeds)},
+        base=dict(sizing),
+    )
+    report = SweepExecutor(jobs=jobs).run(design, "repro.harness.cells:chaos_cell")
+    for row in report.require_rows():
+        result.add_row(**row)
     result.notes.append(
         "Every row must show committed == submitted and all three verdicts "
         "True; a False anywhere means a fault schedule falsified a paper "

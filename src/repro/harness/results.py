@@ -25,9 +25,14 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
 
     def add_row(self, **values: object) -> None:
-        """Append a row; columns are taken from the first row when unset."""
-        if not self.columns:
-            self.columns = list(values.keys())
+        """Append a row, extending the column list with any new keys.
+
+        Columns keep first-appearance order; rows that predate a column
+        simply render blank in that cell (nothing is silently dropped).
+        """
+        for key in values:
+            if key not in self.columns:
+                self.columns.append(key)
         self.rows.append(dict(values))
 
     def column(self, name: str) -> List[object]:
@@ -35,9 +40,10 @@ class ExperimentResult:
         return [row.get(name) for row in self.rows]
 
     def format_table(self) -> str:
-        """Render the rows as an aligned text table."""
+        """Render the rows as an aligned text table (missing cells blank)."""
         return format_table(
-            self.columns, [[row.get(column) for column in self.columns] for row in self.rows]
+            self.columns,
+            [[row.get(column, "") for column in self.columns] for row in self.rows],
         )
 
     def to_markdown(self) -> str:
@@ -57,7 +63,10 @@ class ExperimentResult:
             for row in self.rows:
                 lines.append(
                     "| "
-                    + " | ".join(_format_markdown_cell(row.get(column)) for column in self.columns)
+                    + " | ".join(
+                        _format_markdown_cell(row.get(column, ""))
+                        for column in self.columns
+                    )
                     + " |"
                 )
             lines.append("")
@@ -69,4 +78,5 @@ class ExperimentResult:
 def _format_markdown_cell(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
-    return str(value)
+    # A literal "|" in a cell value would split the Markdown table column.
+    return str(value).replace("|", "\\|")

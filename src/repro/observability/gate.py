@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from ..metrics.stats import mean, stddev
+from ..metrics.stats import mean, sample_stddev
 from .store import ResultsStore, RunRecord
 
 #: Baseline runs needed before the gate starts enforcing.
@@ -90,7 +90,12 @@ def gate_against_history(
             higher_is_better=higher_is_better,
         )
     baseline_mean = mean(list(history))
-    band = max(sigmas * stddev(list(history)), slack_fraction * abs(baseline_mean))
+    # Sample (n-1) stddev: the baseline is a sample, and the population
+    # formula understates the band — worst for the small per-config
+    # baselines CI accumulates (same bias confidence_interval_95 fixed).
+    band = max(
+        sigmas * sample_stddev(list(history)), slack_fraction * abs(baseline_mean)
+    )
     if higher_is_better:
         threshold = baseline_mean - band
         passed = value >= threshold

@@ -54,6 +54,31 @@ class TestExperimentResult:
         assert "| x | y |" in markdown
         assert "- a note" in markdown
 
+    def test_later_rows_extend_columns_instead_of_dropping_keys(self):
+        # Regression: columns froze at the first row, so a later row's new
+        # keys were silently dropped by format_table/to_markdown.
+        result = ExperimentResult(name="demo", description="d")
+        result.add_row(x=1)
+        result.add_row(x=2, extra="late")
+        assert result.columns == ["x", "extra"]
+        assert result.column("extra") == [None, "late"]
+        table = result.format_table()
+        assert "extra" in table and "late" in table
+        markdown = result.to_markdown()
+        assert "| x | extra |" in markdown
+        assert "| 2 | late |" in markdown
+        # The backfilled cell of the earlier row renders blank, not "None".
+        assert "| 1 |  |" in markdown
+
+    def test_markdown_cells_escape_pipes(self):
+        result = ExperimentResult(name="demo", description="d")
+        result.add_row(label="a|b")
+        markdown = result.to_markdown()
+        assert "a\\|b" in markdown
+        # The escaped cell still occupies exactly one column.
+        row_line = [line for line in markdown.splitlines() if "a\\|b" in line][0]
+        assert row_line.count(" | ") == 0  # single-column row: no split
+
 
 class TestRunStandardWorkload:
     def test_summary_fields_are_consistent(self):
@@ -95,3 +120,23 @@ class TestExperiments:
     def test_run_experiments_unknown_name_rejected(self):
         with pytest.raises(KeyError):
             run_experiments(["does-not-exist"])
+
+    def test_run_experiments_empty_selection_runs_nothing(self):
+        # Regression: `names or sorted(registry)` treated [] as None and
+        # silently ran the entire registry.
+        suite = run_experiments([], fast=True)
+        assert suite.results == {}
+        assert suite.to_text() == ""
+        assert suite.to_markdown() == ""
+
+    def test_run_experiments_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate experiment name"):
+            run_experiments(["figure1", "figure1"], fast=True)
+
+    def test_run_experiments_preserves_user_given_order(self):
+        suite = run_experiments(["overlap", "figure1"], fast=True)
+        assert list(suite.results) == ["overlap", "figure1"]
+        text = suite.to_text()
+        assert text.index("overlap") < text.index("Figure 1")
+        assert set(suite.timings) == {"overlap", "figure1"}
+        assert all(elapsed >= 0.0 for elapsed in suite.timings.values())

@@ -392,6 +392,19 @@ class TestPerfGate:
         assert not latency_up.passed
         assert gate_against_history("lat", 50.0, history, higher_is_better=False).passed
 
+    def test_band_uses_sample_stddev_for_small_baselines(self):
+        # Regression: the band was computed with the population (n) stddev,
+        # understating the documented `sigmas * sample_stddev` band — worst
+        # exactly at the minimum 3-sample baseline CI accumulates first.
+        history = [10.0, 12.0, 14.0]
+        # sample stddev = 2.0 (Bessel), population = sqrt(8/3) ~ 1.633;
+        # the band must be 3 * 2.0 = 6.0, so the threshold is 12 - 6 = 6.
+        result = gate_against_history("tps", 6.5, history)
+        assert result.threshold == pytest.approx(6.0)
+        # 6.5 sits outside the narrower population band (threshold ~7.1):
+        # the biased band would have flagged a regression here.
+        assert result.passed and result.status == "within"
+
     def test_slack_floor_tolerates_small_drift_of_constants(self):
         result = gate_against_history("events", 95.0, [100.0, 100.0, 100.0])
         assert result.passed  # within the 10% slack floor despite zero stddev
