@@ -1,8 +1,9 @@
 """no-unordered-iteration: set iteration order must never reach the protocol.
 
-In ``simulation/``, ``broadcast/`` and ``core/`` the order in which events
-are scheduled, positions assigned and keys processed IS the protocol: two
-runs that iterate a set in different orders produce different histories.
+In ``simulation/``, ``broadcast/``, ``core/`` and ``workloads/`` the order
+in which events are scheduled, positions assigned and keys processed IS the
+protocol: two runs that iterate a set in different orders produce different
+histories.
 Python set iteration order depends on element hashes (and, for strings, on
 ``PYTHONHASHSEED``), so any ordering-sensitive consumption of a set —
 ``for`` loops, ``list()``/``tuple()``, list comprehensions, ``join`` —
@@ -24,7 +25,12 @@ from .base import Rule
 if TYPE_CHECKING:  # pragma: no cover
     from ..engine import ModuleSource
 
-DEFAULT_SCOPED_PACKAGES: Tuple[str, ...] = ("simulation/", "broadcast/", "core/")
+DEFAULT_SCOPED_PACKAGES: Tuple[str, ...] = (
+    "simulation/",
+    "broadcast/",
+    "core/",
+    "workloads/",
+)
 
 _HINT = (
     "iterate sorted(...) — or keep the data in an order-documented container "
@@ -113,7 +119,7 @@ class NoUnorderedIterationRule(Rule):
     name = "no-unordered-iteration"
     description = (
         "ordering-sensitive iteration over sets in simulation/, broadcast/, "
-        "core/ must go through sorted(...)"
+        "core/, workloads/ must go through sorted(...)"
     )
 
     def __init__(self, scoped_packages: Sequence[str] = DEFAULT_SCOPED_PACKAGES) -> None:

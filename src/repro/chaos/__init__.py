@@ -43,10 +43,13 @@ from .scenarios import (
     SCENARIOS,
     ChaosRunResult,
     build_chaos_cluster,
+    build_fuzz_plan,
     crash_during_execution,
     execute_chaos_run,
+    execute_fuzz_run,
     latency_spike_under_load,
     partition_during_optimistic_delivery,
+    random_fuzz,
     rolling_shard_crashes,
     run_chaos_scenario,
     sequencer_failover_under_load,
@@ -68,7 +71,10 @@ __all__ = [
     "SCENARIOS",
     "ChaosRunResult",
     "build_chaos_cluster",
+    "build_fuzz_plan",
     "execute_chaos_run",
+    "execute_fuzz_run",
+    "random_fuzz",
     "run_chaos_scenario",
     "sequencer_failover_under_load",
     "rolling_shard_crashes",

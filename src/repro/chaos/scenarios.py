@@ -27,6 +27,12 @@ failures with recovery, reliable channels):
   follower deaf to the coordinator while the coordinator still hears it;
   only the deaf side suspects, condemnation needs a quorum, so no failover
   occurs.
+* :func:`random_fuzz` — a seed-driven fault *soup*: crashes, one-way
+  partitions and latency spikes drawn from the cluster's seeded stream land
+  on a live **open-loop** run (arrivals keep coming regardless of what the
+  faults do to throughput), with admission control shedding the excess.
+  The endurance suite (``pytest -m endurance``) sweeps this scenario across
+  seeds.
 
 Every scenario is a pure function of its seed: two runs with the same seed
 produce identical fault traces and identical commit outcomes (asserted by
@@ -38,6 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..core.admission import AdmissionConfig
 from ..core.config import ShardingConfig
 from ..failure.suspicion import FailureDetectionConfig
 from ..network.latency import GeoTopology, LinkProfile
@@ -55,6 +62,7 @@ from ..workloads.procedures import (
     build_initial_data,
     build_partitioned_registry,
 )
+from ..workloads.arrivals import OpenLoopSpec, OpenLoopTrafficEngine, PoissonArrivals
 from ..workloads.sharded import (
     ShardedWorkloadGenerator,
     ShardedWorkloadSpec,
@@ -83,6 +91,10 @@ class ChaosRunResult:
     recovery_ok: bool = True
     recovered_sites: int = 0
     transferred_commits: int = 0
+    #: Open-loop extras (zero for the closed-loop scenarios): planned update
+    #: offers over the horizon, and how many admission shed outright.
+    offered_updates: int = 0
+    shed_updates: int = 0
 
     @property
     def ok(self) -> bool:
@@ -132,6 +144,7 @@ def build_chaos_cluster(
     tracer=None,
     topology=None,
     failure_detection=None,
+    admission=None,
 ) -> Tuple[ShardedCluster, ShardedWorkloadSpec]:
     """Build the standard cluster + workload spec used by the scenarios.
 
@@ -151,7 +164,10 @@ def build_chaos_cluster(
     shard from oracle-driven failover to heartbeat suspicion-driven
     promotion — runs using it must go through ``execute_chaos_run`` with a
     ``settle_time`` so the periodic detectors can be stopped before the
-    final drain to idle.
+    final drain to idle.  ``admission`` (an
+    :class:`~repro.core.admission.AdmissionConfig`) arms every shard's
+    per-site watermark valve — only meaningful for runs driven through the
+    open-loop offer path (see :func:`execute_fuzz_run`).
     """
     spec = ShardedWorkloadSpec(
         shard_count=shard_count,
@@ -172,6 +188,7 @@ def build_chaos_cluster(
         tracer=tracer,
         topology=topology,
         failure_detection=failure_detection,
+        admission=admission,
     )
     cluster = ShardedCluster(
         config,
@@ -415,6 +432,163 @@ def asymmetric_partition_suspicion(seed: int = 1, **sizing) -> ChaosRunResult:
     )
 
 
+# ---------------------------------------------------------------------------
+# Random fuzz (open-loop endurance scenario)
+# ---------------------------------------------------------------------------
+
+#: Fault kinds the fuzz plan draws from, with their relative weights.
+FUZZ_FAULT_KINDS: Tuple[str, ...] = ("crash", "partition_oneway", "latency_spike")
+FUZZ_FAULT_WEIGHTS: Tuple[float, ...] = (3.0, 2.0, 2.0)
+
+
+def build_fuzz_plan(
+    cluster: ShardedCluster,
+    *,
+    horizon: float,
+    events: int,
+) -> FaultPlan:
+    """Draw a random fault soup from the cluster's seeded fuzz stream.
+
+    Every draw — kind, start time, duration, victims, spike size — comes
+    from the ``"random-fuzz.plan"`` stream of the cluster's master seed, so
+    the plan (and hence the injected trace) is a pure function of the seed.
+    Faults start inside ``[0.1, 0.55] * horizon`` and last ``[0.1, 0.3] *
+    horizon``, so they always land on live traffic and always cease before
+    the arrival stream runs dry (the liveness assertions need a fault-free
+    tail).  Crashes pick a seeded site of a seeded shard (which may well be
+    a coordinator — then the fuzz also exercises failover, or a whole shard
+    if windows stack); one-way partitions sever a directed link between two
+    distinct seeded sites; latency spikes inflate every delay by a seeded
+    2–8 ms.
+    """
+    if events < 1:
+        raise ChaosError("a fuzz plan needs at least one fault event")
+    stream = cluster.kernel.random.stream("random-fuzz.plan")
+    plan = FaultPlan("random-fuzz")
+    sites = sorted(cluster.site_ids())
+    shard_ids = sorted(cluster.shard_ids())
+    for _ in range(events):
+        at = stream.uniform(0.10 * horizon, 0.55 * horizon)
+        duration = stream.uniform(0.10 * horizon, 0.30 * horizon)
+        kind = stream.weighted_choice(FUZZ_FAULT_KINDS, FUZZ_FAULT_WEIGHTS)
+        if kind == "crash":
+            plan.crash(random_site(stream.choice(shard_ids)), at=at, duration=duration)
+        elif kind == "partition_oneway":
+            source, receiver = stream.sample(sites, 2)
+            plan.partition_oneway(
+                [site(source)], [site(receiver)], at=at, duration=duration
+            )
+        else:
+            plan.latency_spike(stream.uniform(0.002, 0.008), at=at, duration=duration)
+    return plan
+
+
+def execute_fuzz_run(
+    cluster: ShardedCluster,
+    spec: OpenLoopSpec,
+    plan: FaultPlan,
+    *,
+    scenario: str,
+    seed: int,
+    settle_time: Optional[float] = None,
+) -> ChaosRunResult:
+    """Open-loop counterpart of :func:`execute_chaos_run`.
+
+    The load is an :class:`~repro.workloads.arrivals.OpenLoopTrafficEngine`
+    stream through the cluster's admission-aware offer path, so — unlike the
+    closed-loop executor — the number of *submitted* updates is an outcome,
+    not an input: admission sheds offers while sites are saturated or dark,
+    and the run passes exactly when everything that **was** admitted commits
+    everywhere (``committed == submitted_updates``) under the full
+    verification stack.
+    """
+    engine = OpenLoopTrafficEngine(spec)
+    open_plan = engine.apply(cluster)
+    orchestrator = ChaosOrchestrator(cluster, plan).arm()
+    if settle_time is not None:
+        cluster.run(until=settle_time)
+        cluster.stop_failure_detectors()
+    cluster.run_until_idle()
+    cluster.check_scheduler_invariants()
+
+    submitted = sum(
+        len(replica.submitted)
+        for shard_group in cluster.shards.values()
+        for replica in shard_group.replicas.values()
+    )
+    shed = sum(
+        shard_group.replicas[site_id].metrics.count(f"admission_shed_{cause}")
+        for shard_group in cluster.shards.values()
+        for site_id in shard_group.site_ids()
+        for cause in ("overload", "site_down", "defer_exhausted")
+    )
+    one_copy = check_sharded_one_copy_serializability(cluster)
+    queries = check_cross_shard_query_consistency(cluster)
+    liveness = check_sharded_eventual_termination(cluster)
+    recovery = check_recovery_completeness(cluster)
+    return ChaosRunResult(
+        scenario=scenario,
+        seed=seed,
+        submitted_updates=submitted,
+        committed=cluster.total_committed(),
+        faults_injected=orchestrator.faults_injected(),
+        trace=tuple(orchestrator.trace),
+        one_copy_ok=one_copy.ok,
+        queries_consistent=queries.ok,
+        liveness_ok=liveness.ok,
+        violations=one_copy.violations
+        + queries.violations
+        + liveness.violations
+        + recovery.violations,
+        faults_cease_at=plan.faults_cease_at(),
+        duration=cluster.now,
+        recovery_ok=recovery.ok,
+        recovered_sites=recovery.recovered_sites_checked,
+        transferred_commits=recovery.transferred_commits,
+        offered_updates=open_plan.update_count,
+        shed_updates=shed,
+    )
+
+
+def random_fuzz(
+    seed: int = 1,
+    *,
+    horizon: float = 0.12,
+    rate: float = 1500.0,
+    events: int = 5,
+    query_fraction: float = 0.05,
+    admission: Optional[AdmissionConfig] = None,
+    **sizing,
+) -> ChaosRunResult:
+    """Seed-driven fault soup over a live open-loop run (endurance scenario).
+
+    ``events`` faults — crashes, one-way partitions, latency spikes, all
+    drawn from the seed — land while a Poisson open-loop stream of ``rate``
+    arrivals/second keeps offering work for ``horizon`` virtual seconds
+    through the admission valve (watermarks arm by default; pass
+    ``admission`` to tune them).  The endurance suite
+    (``tests/test_endurance_fuzz.py``) runs this across a seed sweep and
+    additionally asserts that the same seed reproduces the same fault trace.
+    """
+    if admission is None:
+        admission = AdmissionConfig(high_watermark=40, low_watermark=20)
+    cluster, shard_spec = build_chaos_cluster(seed, admission=admission, **sizing)
+    spec = OpenLoopSpec(
+        arrivals=PoissonArrivals(rate=rate),
+        horizon=horizon,
+        class_count=shard_spec.class_count,
+        objects_per_class=shard_spec.objects_per_class,
+        query_fraction=query_fraction,
+        query_span=shard_spec.query_span,
+        operations_per_update=shard_spec.operations_per_update,
+        update_duration=shard_spec.update_duration,
+        query_duration=shard_spec.query_duration,
+        initial_value=shard_spec.initial_value,
+    )
+    plan = build_fuzz_plan(cluster, horizon=horizon, events=events)
+    return execute_fuzz_run(cluster, spec, plan, scenario="random_fuzz", seed=seed)
+
+
 #: Name → scenario function; the chaos experiment and tests iterate this.
 SCENARIOS: Dict[str, Callable[..., ChaosRunResult]] = {
     "sequencer_failover_under_load": sequencer_failover_under_load,
@@ -425,6 +599,7 @@ SCENARIOS: Dict[str, Callable[..., ChaosRunResult]] = {
     "latency_spike_under_load": latency_spike_under_load,
     "wan_false_suspicion": wan_false_suspicion,
     "asymmetric_partition_suspicion": asymmetric_partition_suspicion,
+    "random_fuzz": random_fuzz,
 }
 
 

@@ -26,6 +26,15 @@ from ..network.dispatcher import SiteDispatcher
 from ..network.transport import NetworkTransport
 from ..simulation.kernel import SimulationKernel
 from ..types import ObjectKey, ObjectValue, SiteId, TransactionId
+from .admission import (
+    CAUSE_DEFER_EXHAUSTED,
+    CAUSE_OVERLOAD,
+    CAUSE_SITE_DOWN,
+    DECISION_ADMIT,
+    DECISION_DEFER,
+    POLICY_DEFER,
+    AdmissionController,
+)
 from .config import BROADCAST_OPTIMISTIC, ClusterConfig
 from .execution import QueryExecution
 from .replica import ReplicaManager
@@ -153,6 +162,17 @@ class ReplicatedDatabase:
         for endpoint in self._broadcasts.values():
             if isinstance(unwrap_endpoint(endpoint), OptimisticAtomicBroadcast):
                 endpoint.fill_safe = self._position_uncommitted_everywhere
+
+        # Admission control: one watermark valve per site, consulted by the
+        # offer_* client paths (open-loop traffic).  submit()/submit_query()
+        # bypass admission on purpose — closed-loop workloads self-regulate.
+        self.admission_controllers: Dict[SiteId, AdmissionController] = {}
+        if config.admission is not None:
+            for site_id in site_ids:
+                self.admission_controllers[site_id] = AdmissionController(
+                    self.replicas[site_id], config.admission
+                )
+        self._offer_cursor = 0
 
         self.failure_detectors: Dict[SiteId, FailureDetector] = {}
         self._governor: Optional[SuspicionFailoverGovernor] = None
@@ -316,6 +336,137 @@ class ReplicatedDatabase:
     ) -> QueryExecution:
         """Submit a read-only query at ``site_id`` (executed locally)."""
         return self.replica(site_id).submit_query(procedure_name, parameters)
+
+    # ------------------------------------------------- open-loop offer paths
+    def _open_site_from(self, start: int) -> Optional[SiteId]:
+        """First open site at or after rotation index ``start`` (failover)."""
+        site_ids = self.site_ids()
+        for offset in range(len(site_ids)):
+            candidate = site_ids[(start + offset) % len(site_ids)]
+            if self.replicas[candidate].is_open:
+                return candidate
+        return None
+
+    def _next_offer_index(self, site_index: Optional[int]) -> int:
+        if site_index is not None:
+            return site_index % self.config.site_count
+        self._offer_cursor += 1
+        return (self._offer_cursor - 1) % self.config.site_count
+
+    def offer_update(
+        self,
+        procedure_name: str,
+        parameters: Optional[Dict[str, Any]] = None,
+        *,
+        site_index: Optional[int] = None,
+    ) -> Optional[TransactionId]:
+        """Offer an update through client failover and admission control.
+
+        The open-loop entry point: unlike :meth:`submit`, which raises when
+        its site is down, an *offer* models a request arriving from outside
+        at its own time.  The client prefers the site at rotation index
+        ``site_index`` (the facade rotates round-robin when ``None``), fails
+        over to the next open site when it is closed, and the target's
+        :class:`~repro.core.admission.AdmissionController` (when configured)
+        may shed or defer instead of queueing.  Returns the transaction id
+        when admitted now, ``None`` when shed or deferred — a deferred
+        submission may still be admitted by a later internal retry, which
+        the site's ``admission_*`` counters account for.
+        """
+        return self._offer_update(
+            procedure_name,
+            dict(parameters or {}),
+            self._next_offer_index(site_index),
+            0,
+        )
+
+    def _offer_update(
+        self,
+        procedure_name: str,
+        parameters: Dict[str, Any],
+        start: int,
+        deferrals: int,
+    ) -> Optional[TransactionId]:
+        preferred = self.site_ids()[start]
+        target = self._open_site_from(start)
+        if target is None:
+            # Whole replica set dark.  Under the defer policy the submission
+            # waits for a recovery (the flat-cluster analogue of the sharded
+            # router's dark-shard deferral); otherwise it is shed.
+            admission = self.config.admission
+            if (
+                admission is not None
+                and admission.policy == POLICY_DEFER
+                and deferrals < admission.max_deferrals
+            ):
+                self._schedule_offer_retry(
+                    procedure_name, parameters, start, deferrals, preferred
+                )
+                return None
+            cause = CAUSE_DEFER_EXHAUSTED if deferrals else CAUSE_SITE_DOWN
+            self.replicas[preferred].metrics.increment(f"admission_shed_{cause}")
+            return None
+        controller = self.admission_controllers.get(target)
+        if controller is None:
+            return self.submit(target, procedure_name, parameters)
+        decision = controller.decide()
+        if decision == DECISION_ADMIT:
+            controller.record_admitted()
+            return self.submit(target, procedure_name, parameters)
+        if decision == DECISION_DEFER:
+            if deferrals >= controller.config.max_deferrals:
+                controller.record_shed(CAUSE_DEFER_EXHAUSTED)
+                return None
+            self._schedule_offer_retry(
+                procedure_name, parameters, start, deferrals, target
+            )
+            return None
+        controller.record_shed(CAUSE_OVERLOAD)
+        return None
+
+    def _schedule_offer_retry(
+        self,
+        procedure_name: str,
+        parameters: Dict[str, Any],
+        start: int,
+        deferrals: int,
+        counted_site: SiteId,
+    ) -> None:
+        admission = self.config.admission
+        if admission is None:  # pragma: no cover - defer requires a config
+            raise ReplicationError("cannot defer without an admission config")
+        self.replicas[counted_site].metrics.increment("admission_deferred")
+        self.kernel.schedule(
+            admission.retry_interval,
+            lambda: self._offer_update(
+                procedure_name, parameters, start, deferrals + 1
+            ),
+            label=f"admission-defer:{procedure_name}",
+        )
+
+    def offer_query(
+        self,
+        procedure_name: str,
+        parameters: Optional[Dict[str, Any]] = None,
+        *,
+        site_index: Optional[int] = None,
+    ) -> Optional[QueryExecution]:
+        """Offer a read-only query with client failover around closed sites.
+
+        Queries read consistent snapshots without entering the class queues,
+        so they bypass the watermark valve; only a fully dark replica set
+        refuses them (counted as ``admission_shed_site_down`` at the
+        preferred site) and returns ``None``.
+        """
+        start = self._next_offer_index(site_index)
+        target = self._open_site_from(start)
+        if target is None:
+            preferred = self.site_ids()[start]
+            self.replicas[preferred].metrics.increment(
+                f"admission_shed_{CAUSE_SITE_DOWN}"
+            )
+            return None
+        return self.submit_query(target, procedure_name, parameters)
 
     # ------------------------------------------------------------ simulation
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:

@@ -10,6 +10,7 @@ from ..errors import ReplicationError
 from ..failure.suspicion import FailureDetectionConfig
 from ..network.latency import GeoLatency, GeoTopology, LanMulticastLatency, LatencyModel
 from ..observability.trace import TransactionTracer
+from .admission import AdmissionConfig
 
 #: Broadcast protocol choices for the cluster.
 BROADCAST_OPTIMISTIC = "optimistic"
@@ -92,6 +93,14 @@ class ClusterConfig:
         (quorum condemnation + Ω election) instead of the crash manager's
         ground truth.  ``None`` (default) keeps the legacy oracle-driven
         failover.
+    admission:
+        When given (:class:`~repro.core.admission.AdmissionConfig`), every
+        site gets an :class:`~repro.core.admission.AdmissionController` and
+        the facade's ``offer_update`` path sheds or defers submissions once
+        the site's class-queue backlog crosses the high watermark — the
+        backpressure valve open-loop traffic needs.  ``None`` (default)
+        admits everything, and ``offer_update`` degenerates to ``submit``
+        with client failover.
     """
 
     site_count: int = 4
@@ -111,6 +120,7 @@ class ClusterConfig:
     tracer: Optional[TransactionTracer] = None
     topology: Optional[GeoTopology] = None
     failure_detection: Optional[FailureDetectionConfig] = None
+    admission: Optional[AdmissionConfig] = None
 
     def __post_init__(self) -> None:
         if self.site_count < 1:
@@ -169,6 +179,10 @@ class ShardingConfig:
     tracer: Optional[TransactionTracer] = None
     topology: Optional[GeoTopology] = None
     failure_detection: Optional[FailureDetectionConfig] = None
+    #: Per-shard admission control; forwarded to every shard's replica group
+    #: (see :class:`ClusterConfig`), so a saturated shard sheds or defers
+    #: while healthy shards keep admitting — per-shard backpressure.
+    admission: Optional[AdmissionConfig] = None
 
     def __post_init__(self) -> None:
         if self.shard_count < 1:

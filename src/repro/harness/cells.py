@@ -24,6 +24,7 @@ from typing import Dict, List
 
 from ..broadcast.batching import BatchingConfig
 from ..chaos.scenarios import run_chaos_scenario
+from ..core.admission import AdmissionConfig
 from ..core.cluster import ReplicatedDatabase
 from ..core.config import BROADCAST_OPTIMISTIC, ClusterConfig
 from ..metrics.stats import mean
@@ -32,6 +33,7 @@ from ..observability.registry import derive_metrics
 from ..simulation.clock import milliseconds, to_milliseconds
 from ..simulation.randomness import RandomSource
 from ..verification.onecopy import check_one_copy_serializability
+from ..workloads.arrivals import OpenLoopSpec, OpenLoopTrafficEngine, PoissonArrivals
 from ..workloads.generator import WorkloadGenerator
 from ..workloads.procedures import (
     build_conflict_map,
@@ -46,6 +48,7 @@ __all__ = [
     "batching_cell",
     "chaos_cell",
     "geo_cell",
+    "overload_cell",
     "seed_probe_cell",
     "failing_probe_cell",
     "exiting_probe_cell",
@@ -123,6 +126,76 @@ def chaos_cell(spec: RunSpec) -> Dict[str, object]:
         queries_consistent=run.queries_consistent,
         liveness_ok=run.liveness_ok,
         faults_cease_at_ms=to_milliseconds(run.faults_cease_at),
+    )
+
+
+def overload_cell(spec: RunSpec) -> Dict[str, object]:
+    """One (offered load, admission mode) cell of the overload sweep.
+
+    The cluster seed lives in the design's ``base`` — *not* in the factor
+    grid — so the admission=on and admission=off cells of one offered-load
+    level see the **identical** open-loop arrival schedule and differ only
+    in whether the watermark valve is armed.  Goodput counts the update
+    commits achieved *within the offered-load window* (``committed_at <=
+    horizon``): a run that merely parks everything in an unbounded backlog
+    and drains it long after the horizon earns no goodput credit for the
+    late commits.
+    """
+    params = spec.params()
+    offered_tps = float(params["offered_tps"])
+    admission_on = params["admission"] == "on"
+    horizon = params["horizon"]
+    open_spec = OpenLoopSpec(
+        arrivals=PoissonArrivals(rate=offered_tps),
+        horizon=horizon,
+        class_count=params["class_count"],
+        update_duration=milliseconds(params["execution_ms"]),
+    )
+    admission = (
+        AdmissionConfig(
+            high_watermark=params["high_watermark"],
+            low_watermark=params["low_watermark"],
+        )
+        if admission_on
+        else None
+    )
+    base_spec = open_spec.base_spec()
+    cluster = ReplicatedDatabase(
+        ClusterConfig(
+            site_count=params["site_count"],
+            seed=params["seed"],
+            admission=admission,
+        ),
+        build_partitioned_registry(base_spec),
+        conflict_map=build_conflict_map(base_spec),
+        initial_data=build_initial_data(base_spec),
+    )
+    plan = OpenLoopTrafficEngine(open_spec).apply(cluster)
+    cluster.run_until_idle()
+    cluster.check_scheduler_invariants()
+    derived = derive_metrics(cluster)
+    one_copy = check_one_copy_serializability(cluster.histories())
+
+    committed_in_window = 0
+    for replica in cluster.replicas.values():
+        for submitted in replica.submitted.values():
+            if submitted.committed_at is not None and submitted.committed_at <= horizon:
+                committed_in_window += 1
+    committed_counts = cluster.committed_counts()
+    latency = derived.phase_breakdown["client_commit_latency"]
+    return dict(
+        offered_tps=offered_tps,
+        admission=params["admission"],
+        offered=plan.update_count,
+        admitted=derived.admitted if admission_on else plan.update_count,
+        shed=sum(derived.sheds_by_cause.values()),
+        committed=max(committed_counts.values()) if committed_counts else 0,
+        goodput_tps=committed_in_window / horizon,
+        p50_ms=to_milliseconds(latency.p50),
+        p95_ms=to_milliseconds(latency.p95),
+        p99_ms=to_milliseconds(latency.p99),
+        max_queue_depth=derived.max_class_queue_depth,
+        one_copy_ok=one_copy.ok,
     )
 
 

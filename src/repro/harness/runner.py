@@ -15,6 +15,7 @@ from .experiments import (
     lazy_comparison_experiment,
     optimism_tradeoff_experiment,
     overlap_experiment,
+    overload_experiment,
     query_experiment,
     scalability_experiment,
 )
@@ -46,6 +47,9 @@ FAST_EXPERIMENTS: Dict[str, ExperimentRunner] = {
         site_counts=(2, 4, 6), updates_per_site=20
     ),
     "chaos": lambda jobs=1: chaos_resilience_experiment(seeds=(1, 2), jobs=jobs),
+    "overload": lambda jobs=1: overload_experiment(
+        offered_tps=(800.0, 1600.0, 3200.0), horizon=0.15, jobs=jobs
+    ),
     "geo": lambda jobs=1: geo_divergence_experiment(
         cross_base_ms=(0.5, 2.0, 10.0), updates_per_site=20, jobs=jobs
     ),
@@ -67,6 +71,7 @@ FULL_EXPERIMENTS: Dict[str, ExperimentRunner] = {
     "queries": lambda jobs=1: query_experiment(),
     "scalability": lambda jobs=1: scalability_experiment(),
     "chaos": lambda jobs=1: chaos_resilience_experiment(jobs=jobs),
+    "overload": lambda jobs=1: overload_experiment(jobs=jobs),
     "geo": lambda jobs=1: geo_divergence_experiment(jobs=jobs),
     "batching": lambda jobs=1: batching_ablation_experiment(jobs=jobs),
 }

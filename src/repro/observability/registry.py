@@ -37,6 +37,14 @@ ABORT_CAUSES: Dict[str, Tuple[str, ...]] = {
     "recovery_invalidation": ("transactions_discarded",),
 }
 
+#: Counter names grouped under one admission shed cause (derived metric).
+#: Populated by the open-loop offer paths (see :mod:`repro.core.admission`).
+SHED_CAUSES: Dict[str, Tuple[str, ...]] = {
+    "overload": ("admission_shed_overload",),
+    "site_down": ("admission_shed_site_down",),
+    "defer_exhausted": ("admission_shed_defer_exhausted",),
+}
+
 #: Latency instruments reported in the per-phase breakdown, in client order.
 PHASE_LATENCIES: Tuple[str, ...] = (
     "client_commit_latency",
@@ -208,6 +216,12 @@ class DerivedMetrics:
     aborts_by_cause: Dict[str, int]
     max_class_queue_depth: float
     commits: int
+    #: Admission-control outcomes of the open-loop offer path (all zero /
+    #: empty when the cluster has no admission config or ran closed-loop).
+    sheds_by_cause: Dict[str, int] = field(default_factory=dict)
+    admitted: int = 0
+    deferred: int = 0
+    max_admission_queue_depth: float = 0.0
 
     def to_metrics(self) -> Dict[str, float]:
         """Flatten into scalar metrics for the results store."""
@@ -215,9 +229,14 @@ class DerivedMetrics:
             "opt_to_divergence_rate": self.opt_to_divergence_rate,
             "max_class_queue_depth": self.max_class_queue_depth,
             "commits": float(self.commits),
+            "admission_admitted": float(self.admitted),
+            "admission_deferred": float(self.deferred),
+            "max_admission_queue_depth": self.max_admission_queue_depth,
         }
         for cause, count in self.aborts_by_cause.items():
             flat[f"aborts_{cause}"] = float(count)
+        for cause, count in self.sheds_by_cause.items():
+            flat[f"sheds_{cause}"] = float(count)
         for phase, summary in self.phase_breakdown.items():
             if summary.count == 0:
                 continue
@@ -249,4 +268,11 @@ def derive_metrics(cluster: Any, registry: Optional[MetricsRegistry] = None) -> 
         },
         max_class_queue_depth=registry.gauge_high_water("class_queue_depth"),
         commits=registry.counter_total("commits"),
+        sheds_by_cause={
+            cause: sum(registry.counter_total(counter) for counter in counters)
+            for cause, counters in SHED_CAUSES.items()
+        },
+        admitted=registry.counter_total("admission_admitted"),
+        deferred=registry.counter_total("admission_deferred"),
+        max_admission_queue_depth=registry.gauge_high_water("admission_queue_depth"),
     )

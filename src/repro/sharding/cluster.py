@@ -23,7 +23,7 @@ from ..database.procedures import ProcedureRegistry
 from ..errors import ShardingError
 from ..network.transport import NetworkTransport
 from ..simulation.kernel import SimulationKernel
-from ..types import MessageId, ObjectKey, ObjectValue, ShardId, SiteId
+from ..types import MessageId, ObjectKey, ObjectValue, ShardId, SiteId, TransactionId
 from .router import (
     QueryClassesFn,
     RoutedUpdate,
@@ -178,6 +178,40 @@ class ShardedCluster:
         transaction id is not known yet.
         """
         return self.router.route_update(
+            procedure_name, parameters, site_index=site_index
+        )
+
+    def offer_update(
+        self,
+        procedure_name: str,
+        parameters: Optional[Dict[str, Any]] = None,
+        *,
+        site_index: Optional[int] = None,
+    ) -> Optional[TransactionId]:
+        """Offer an update to its owning shard's admission-aware path.
+
+        The open-loop counterpart of :meth:`submit_update`: the owning shard
+        is resolved from the procedure's conflict class, then the offer goes
+        through that shard's :meth:`~repro.core.cluster.ReplicatedDatabase.
+        offer_update` — client failover over the shard's replicas and, when
+        ``config.admission`` is set, the per-site watermark valve.  A
+        saturated or dark shard therefore sheds or defers *its own* traffic
+        while every other shard keeps admitting (per-shard backpressure).
+        Returns the transaction id when admitted now, ``None`` otherwise.
+        """
+        parameters = dict(parameters or {})
+        procedure = self.registry.get(procedure_name)
+        if procedure.is_query:
+            raise ShardingError(
+                f"procedure {procedure_name!r} is a query; use submit_query instead"
+            )
+        conflict_class = procedure.resolve_conflict_class(parameters)
+        if conflict_class is None:
+            raise ShardingError(
+                f"update procedure {procedure_name!r} resolved no conflict class"
+            )
+        shard_id = self.shard_map.shard_of_class(conflict_class)
+        return self.shard(shard_id).offer_update(
             procedure_name, parameters, site_index=site_index
         )
 

@@ -1,5 +1,17 @@
 """Workload specifications, standard stored procedures and the generator."""
 
+from .arrivals import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    HotKeyChurn,
+    OnOffArrivals,
+    OpenLoopOperation,
+    OpenLoopPlan,
+    OpenLoopSpec,
+    OpenLoopTrafficEngine,
+    PoissonArrivals,
+)
 from .generator import (
     ClusterLike,
     GeneratedOperation,
@@ -27,6 +39,16 @@ from .specs import (
 )
 
 __all__ = [
+    "ArrivalProcess",
+    "DiurnalArrivals",
+    "FlashCrowdArrivals",
+    "HotKeyChurn",
+    "OnOffArrivals",
+    "OpenLoopOperation",
+    "OpenLoopPlan",
+    "OpenLoopSpec",
+    "OpenLoopTrafficEngine",
+    "PoissonArrivals",
     "ClusterLike",
     "GeneratedOperation",
     "WorkloadGenerator",

@@ -1,0 +1,523 @@
+"""Open-loop arrival processes and the open-loop traffic engine.
+
+Every generator in :mod:`repro.workloads.generator` is *closed-loop*: each
+site's stream draws a think time after the previous submission, so the
+offered load implicitly tracks what the system completes.  Production
+traffic does not wait — requests arrive whenever users make them — so this
+module provides *open-loop* traffic: a seed-driven arrival process lays out
+submission times over a horizon, and the engine schedules one offer per
+arrival on the simulation kernel regardless of completions.  Offered load
+past the saturation knee therefore builds real backlog, which is exactly
+the regime admission control (:mod:`repro.core.admission`) exists for.
+
+Arrival processes
+-----------------
+* :class:`PoissonArrivals` — homogeneous Poisson stream (exponential gaps);
+* :class:`OnOffArrivals` — bursty on/off source with Pareto (heavy-tailed)
+  phase durations, the classic construction of self-similar traffic;
+* :class:`DiurnalArrivals` — sinusoidal day/night rate curve, realised by
+  thinning a Poisson stream at the peak rate;
+* :class:`FlashCrowdArrivals` — a baseline rate with one sudden ramp to a
+  multiple of it and an exponential decay back down.
+
+All processes are pure functions of a :class:`~repro.simulation.randomness.
+RandomStream`, so two clusters with equal seeds receive identical arrival
+schedules in any ``PYTHONHASHSEED`` universe.
+
+Hot-key churn
+-------------
+:class:`HotKeyChurn` makes the Zipf hotspot *move*: the drawn class rank is
+rotated by an offset that advances every ``drift_interval`` seconds, so the
+hottest conflict class wanders over the keyspace during a long run instead
+of pinning one class forever.
+
+The engine
+----------
+:class:`OpenLoopTrafficEngine` turns an :class:`OpenLoopSpec` into a
+deterministic :class:`OpenLoopPlan` and schedules its operations through a
+cluster facade's admission-aware entry points (``offer_update`` /
+``offer_query`` on a flat :class:`~repro.core.cluster.ReplicatedDatabase`,
+``offer_update`` + routed queries on a
+:class:`~repro.sharding.cluster.ShardedCluster`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+
+from ..errors import WorkloadError
+from ..simulation.randomness import RandomStream
+from .procedures import READ_CLASSES_QUERY, UPDATE_PROCEDURE
+from .specs import WorkloadSpec
+
+
+class ArrivalProcess(Protocol):
+    """A seed-driven arrival schedule over a finite horizon."""
+
+    def arrival_times(self, stream: RandomStream, horizon: float) -> List[float]:
+        """Strictly increasing arrival offsets in ``[0, horizon)``."""
+        ...
+
+
+def _require_positive(name: str, value: float) -> None:
+    if value <= 0.0:
+        raise WorkloadError(f"{name} must be positive (got {value!r})")
+
+
+def _thinned_arrivals(
+    stream: RandomStream,
+    horizon: float,
+    peak_rate: float,
+    rate_at: Callable[[float], float],
+) -> List[float]:
+    """Nonhomogeneous Poisson arrivals by thinning (Lewis & Shedler).
+
+    Candidates are drawn at the constant ``peak_rate`` and each is kept with
+    probability ``rate_at(t) / peak_rate`` — rejected candidates still
+    consume draws, so the schedule depends only on the stream and the rate
+    curve, never on how the curve is sampled.
+    """
+    times: List[float] = []
+    at = 0.0
+    while True:
+        at += stream.exponential(1.0 / peak_rate)
+        if at >= horizon:
+            return times
+        if stream.random() * peak_rate < rate_at(at):
+            times.append(at)
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Homogeneous Poisson arrivals at ``rate`` per second."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        _require_positive("rate", self.rate)
+
+    def arrival_times(self, stream: RandomStream, horizon: float) -> List[float]:
+        times: List[float] = []
+        at = 0.0
+        while True:
+            at += stream.exponential(1.0 / self.rate)
+            if at >= horizon:
+                return times
+            times.append(at)
+
+
+@dataclass(frozen=True)
+class OnOffArrivals:
+    """Bursty on/off source: Poisson bursts separated by silent periods.
+
+    Phase durations are Pareto with shape ``tail_alpha`` (scaled so their
+    means are ``mean_on`` / ``mean_off``).  Heavy-tailed on/off periods are
+    the standard construction of self-similar traffic: occasional very long
+    bursts and very long silences survive aggregation, unlike exponential
+    phases which smooth out.  ``tail_alpha`` must exceed 1 for the phase
+    means to exist; values close to 1 give the heaviest tails.
+    """
+
+    on_rate: float
+    mean_on: float = 0.02
+    mean_off: float = 0.02
+    tail_alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        _require_positive("on_rate", self.on_rate)
+        _require_positive("mean_on", self.mean_on)
+        _require_positive("mean_off", self.mean_off)
+        if self.tail_alpha <= 1.0:
+            raise WorkloadError(
+                "tail_alpha must exceed 1 (Pareto phase durations need a "
+                f"finite mean; got {self.tail_alpha!r})"
+            )
+
+    def _phase_duration(self, stream: RandomStream, mean: float) -> float:
+        # Pareto(alpha, scale) has mean alpha*scale/(alpha-1); solve for the
+        # scale that hits the requested phase mean.
+        scale = mean * (self.tail_alpha - 1.0) / self.tail_alpha
+        return stream.pareto(self.tail_alpha, scale)
+
+    def arrival_times(self, stream: RandomStream, horizon: float) -> List[float]:
+        times: List[float] = []
+        at = 0.0
+        burst_on = True
+        while at < horizon:
+            duration = self._phase_duration(
+                stream, self.mean_on if burst_on else self.mean_off
+            )
+            if burst_on:
+                end = min(at + duration, horizon)
+                tick = at
+                while True:
+                    tick += stream.exponential(1.0 / self.on_rate)
+                    if tick >= end:
+                        break
+                    times.append(tick)
+            at += duration
+            burst_on = not burst_on
+        return times
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals:
+    """Sinusoidal day/night rate curve around ``base_rate``.
+
+    The instantaneous rate is ``base_rate * (1 + amplitude * sin(2*pi*t /
+    period + phase))``; with ``amplitude=1`` the trough touches zero.  A
+    simulation "day" is ``period`` virtual seconds.
+    """
+
+    base_rate: float
+    amplitude: float = 0.8
+    period: float = 0.2
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require_positive("base_rate", self.base_rate)
+        _require_positive("period", self.period)
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise WorkloadError(
+                f"amplitude must lie in [0, 1] (got {self.amplitude!r})"
+            )
+
+    def rate_at(self, time: float) -> float:
+        """Instantaneous arrival rate at virtual time ``time``."""
+        angle = 2.0 * math.pi * time / self.period + self.phase
+        return self.base_rate * (1.0 + self.amplitude * math.sin(angle))
+
+    def arrival_times(self, stream: RandomStream, horizon: float) -> List[float]:
+        peak = self.base_rate * (1.0 + self.amplitude)
+        return _thinned_arrivals(stream, horizon, peak, self.rate_at)
+
+
+@dataclass(frozen=True)
+class FlashCrowdArrivals:
+    """A flash crowd: baseline rate, sudden ramp to a peak, exponential decay.
+
+    Before ``spike_at`` the rate is ``base_rate``; it then ramps linearly to
+    ``base_rate * peak_multiplier`` over ``ramp`` seconds and decays back
+    toward the baseline with time constant ``decay``.
+    """
+
+    base_rate: float
+    peak_multiplier: float = 8.0
+    spike_at: float = 0.05
+    ramp: float = 0.01
+    decay: float = 0.03
+
+    def __post_init__(self) -> None:
+        _require_positive("base_rate", self.base_rate)
+        _require_positive("ramp", self.ramp)
+        _require_positive("decay", self.decay)
+        if self.peak_multiplier < 1.0:
+            raise WorkloadError(
+                f"peak_multiplier must be at least 1 (got {self.peak_multiplier!r})"
+            )
+        if self.spike_at < 0.0:
+            raise WorkloadError("spike_at cannot be negative")
+
+    def rate_at(self, time: float) -> float:
+        """Instantaneous arrival rate at virtual time ``time``."""
+        if time < self.spike_at:
+            return self.base_rate
+        peak = self.base_rate * self.peak_multiplier
+        ramp_end = self.spike_at + self.ramp
+        if time < ramp_end:
+            return self.base_rate + (peak - self.base_rate) * (
+                (time - self.spike_at) / self.ramp
+            )
+        return self.base_rate + (peak - self.base_rate) * math.exp(
+            -(time - ramp_end) / self.decay
+        )
+
+    def arrival_times(self, stream: RandomStream, horizon: float) -> List[float]:
+        peak = self.base_rate * self.peak_multiplier
+        return _thinned_arrivals(stream, horizon, peak, self.rate_at)
+
+
+@dataclass(frozen=True)
+class HotKeyChurn:
+    """A drifting Zipf hotspot: the hottest class rotates over time.
+
+    The engine draws a Zipf *rank* and rotates it by ``step`` classes every
+    ``drift_interval`` virtual seconds, so rank 0 — the hottest — names a
+    different conflict class as the run progresses.  A long-horizon run
+    therefore heats every class in turn instead of pinning one forever.
+    """
+
+    drift_interval: float
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        _require_positive("drift_interval", self.drift_interval)
+        if self.step < 1:
+            raise WorkloadError(f"step must be at least 1 (got {self.step!r})")
+
+    def hot_offset(self, time: float) -> int:
+        """Rotation applied to Zipf ranks at virtual time ``time``."""
+        return int(time / self.drift_interval) * self.step
+
+
+@dataclass
+class OpenLoopSpec:
+    """Description of an open-loop client load.
+
+    ``arrivals`` and ``horizon`` replace the closed-loop per-site counts and
+    think times of :class:`~repro.workloads.specs.WorkloadSpec`: one
+    aggregate arrival process drives the whole cluster, each arrival picks a
+    preferred site from a seeded stream, and ``query_fraction`` of arrivals
+    become multi-class read-only queries instead of updates.  The database
+    schema fields (``class_count``, ``objects_per_class``, durations...)
+    mirror the closed-loop spec so the standard registry/conflict-map/
+    initial-data builders apply unchanged (see :meth:`base_spec`).
+    """
+
+    arrivals: ArrivalProcess
+    horizon: float
+    class_count: int = 6
+    objects_per_class: int = 20
+    query_fraction: float = 0.0
+    query_span: int = 2
+    class_skew: float = 0.0
+    operations_per_update: int = 2
+    update_duration: float = 0.002
+    query_duration: float = 0.002
+    initial_value: int = 100
+    churn: Optional[HotKeyChurn] = None
+
+    def __post_init__(self) -> None:
+        _require_positive("horizon", self.horizon)
+        if self.class_count < 1:
+            raise WorkloadError("class_count must be at least 1")
+        if self.objects_per_class < 1:
+            raise WorkloadError("objects_per_class must be at least 1")
+        if not 0.0 <= self.query_fraction <= 1.0:
+            raise WorkloadError(
+                f"query_fraction must lie in [0, 1] (got {self.query_fraction!r})"
+            )
+        if self.query_span < 1:
+            raise WorkloadError("query_span must be at least 1")
+        if self.class_skew < 0.0:
+            raise WorkloadError("class_skew cannot be negative")
+        if self.operations_per_update < 1:
+            raise WorkloadError("operations_per_update must be at least 1")
+
+    @property
+    def effective_query_span(self) -> int:
+        """Query span clamped to the number of classes."""
+        return min(self.query_span, self.class_count)
+
+    def base_spec(self) -> WorkloadSpec:
+        """The closed-loop spec describing the same database schema.
+
+        Used with the standard builders (``build_partitioned_registry``,
+        ``build_conflict_map``, ``build_initial_data``): open-loop traffic
+        changes *when* clients submit, not what the database looks like.
+        """
+        return WorkloadSpec(
+            class_count=self.class_count,
+            objects_per_class=self.objects_per_class,
+            query_span=self.effective_query_span,
+            class_skew=self.class_skew,
+            operations_per_update=self.operations_per_update,
+            update_duration=self.update_duration,
+            query_duration=self.query_duration,
+            initial_value=self.initial_value,
+        )
+
+
+@dataclass
+class OpenLoopOperation:
+    """One planned open-loop offer (kept for reproducibility checks)."""
+
+    procedure_name: str
+    parameters: Dict[str, Any]
+    scheduled_at: float
+    site_index: int
+    is_query: bool
+
+
+@dataclass
+class OpenLoopPlan:
+    """The full offer schedule plus live admission outcome counters.
+
+    The operation list is fixed once built; the counters fill in as the
+    simulation executes the offers (an offer returning ``None`` was shed or
+    deferred by admission control — a deferred submission that is admitted
+    on a later retry is counted by the site's metrics, not here).
+    """
+
+    operations: List[OpenLoopOperation] = field(default_factory=list)
+    admitted_updates: int = 0
+    admitted_queries: int = 0
+    refused_updates: int = 0
+    refused_queries: int = 0
+
+    @property
+    def update_count(self) -> int:
+        """Number of planned update offers."""
+        return sum(1 for operation in self.operations if not operation.is_query)
+
+    @property
+    def query_count(self) -> int:
+        """Number of planned query offers."""
+        return sum(1 for operation in self.operations if operation.is_query)
+
+    def last_arrival_time(self) -> float:
+        """Virtual time of the last planned offer."""
+        if not self.operations:
+            return 0.0
+        return max(operation.scheduled_at for operation in self.operations)
+
+    def signature(self) -> Tuple[Tuple[Any, ...], ...]:
+        """Hash-order-independent fingerprint of the planned schedule.
+
+        Two plans built from equal seeds must have equal signatures in any
+        ``PYTHONHASHSEED`` universe (asserted by the subprocess determinism
+        test in ``tests/test_open_loop_workloads.py``).
+        """
+        rows: List[Tuple[Any, ...]] = []
+        for operation in self.operations:
+            parameters = tuple(
+                (key, tuple(value) if isinstance(value, list) else value)
+                for key, value in sorted(operation.parameters.items())
+            )
+            rows.append(
+                (
+                    round(operation.scheduled_at, 9),
+                    operation.procedure_name,
+                    operation.site_index,
+                    operation.is_query,
+                    parameters,
+                )
+            )
+        return tuple(rows)
+
+
+class OpenLoopTrafficEngine:
+    """Schedules an open-loop offer stream against a cluster facade.
+
+    Works with both deployment shapes: a flat
+    :class:`~repro.core.cluster.ReplicatedDatabase` receives offers through
+    ``offer_update`` / ``offer_query`` (seeded preferred site, client
+    failover, admission control), and a
+    :class:`~repro.sharding.cluster.ShardedCluster` receives updates through
+    its shard-resolving ``offer_update`` and queries through the fan-out
+    router.  The plan is derived from the cluster's master seed and this
+    engine's ``seed_salt``, so equal seeds yield identical offer schedules.
+    """
+
+    def __init__(self, spec: OpenLoopSpec, *, seed_salt: str = "open-loop") -> None:
+        self.spec = spec
+        self.seed_salt = seed_salt
+
+    # ------------------------------------------------------------------- api
+    def build_plan(self, cluster: Any, *, start_time: float = 0.0) -> OpenLoopPlan:
+        """Derive the full offer schedule without scheduling anything."""
+        spec = self.spec
+        arrival_stream = cluster.kernel.random.stream(f"{self.seed_salt}.arrivals")
+        param_stream = cluster.kernel.random.stream(f"{self.seed_salt}.params")
+        site_stream = cluster.kernel.random.stream(f"{self.seed_salt}.sites")
+        plan = OpenLoopPlan()
+        for offset in spec.arrivals.arrival_times(arrival_stream, spec.horizon):
+            site_index = site_stream.randint(0, 2**16 - 1)
+            is_query = spec.query_fraction > 0.0 and param_stream.chance(
+                spec.query_fraction
+            )
+            rank = param_stream.zipf_index(spec.class_count, spec.class_skew)
+            first_class = self._rotated_class(rank, offset)
+            if is_query:
+                span = spec.effective_query_span
+                class_indexes = sorted(
+                    (first_class + step) % spec.class_count for step in range(span)
+                )
+                parameters: Dict[str, Any] = {"class_indexes": class_indexes}
+                procedure = READ_CLASSES_QUERY
+            else:
+                object_count = min(spec.operations_per_update, spec.objects_per_class)
+                object_indexes = param_stream.sample(
+                    range(spec.objects_per_class), object_count
+                )
+                parameters = {
+                    "class_index": first_class,
+                    "object_indexes": sorted(object_indexes),
+                    "amount": 1,
+                }
+                procedure = UPDATE_PROCEDURE
+            plan.operations.append(
+                OpenLoopOperation(
+                    procedure_name=procedure,
+                    parameters=parameters,
+                    scheduled_at=start_time + offset,
+                    site_index=site_index,
+                    is_query=is_query,
+                )
+            )
+        return plan
+
+    def apply(self, cluster: Any, *, start_time: float = 0.0) -> OpenLoopPlan:
+        """Build the plan and schedule every offer on the cluster's kernel."""
+        plan = self.build_plan(cluster, start_time=start_time)
+        now = cluster.kernel.now()
+        sharded = hasattr(cluster, "shards")
+        for operation in plan.operations:
+            if operation.scheduled_at < now:
+                raise WorkloadError(
+                    f"offer scheduled at {operation.scheduled_at} lies in the past"
+                )
+            cluster.kernel.schedule_at(
+                operation.scheduled_at,
+                self._make_offer(cluster, plan, operation, sharded),
+                label=f"open-loop:{operation.procedure_name}",
+            )
+        return plan
+
+    # -------------------------------------------------------------- internal
+    def _rotated_class(self, rank: int, time: float) -> int:
+        churn = self.spec.churn
+        if churn is None:
+            return rank
+        return (rank + churn.hot_offset(time)) % self.spec.class_count
+
+    def _make_offer(
+        self,
+        cluster: Any,
+        plan: OpenLoopPlan,
+        operation: OpenLoopOperation,
+        sharded: bool,
+    ) -> Callable[[], None]:
+        def fire() -> None:
+            if operation.is_query:
+                if sharded:
+                    # The router fans the query out and defers dark-shard
+                    # sub-queries itself; the offer is always accepted.
+                    cluster.submit_query(
+                        operation.procedure_name, dict(operation.parameters)
+                    )
+                    plan.admitted_queries += 1
+                    return
+                execution = cluster.offer_query(
+                    operation.procedure_name,
+                    dict(operation.parameters),
+                    site_index=operation.site_index,
+                )
+                if execution is None:
+                    plan.refused_queries += 1
+                else:
+                    plan.admitted_queries += 1
+                return
+            admitted = cluster.offer_update(
+                operation.procedure_name,
+                dict(operation.parameters),
+                site_index=operation.site_index,
+            )
+            if admitted is None:
+                plan.refused_updates += 1
+            else:
+                plan.admitted_updates += 1
+
+        return fire

@@ -160,7 +160,7 @@ class WorkloadGenerator:
             span = spec.effective_query_span
             first_class = stream.zipf_index(spec.class_count, spec.class_skew)
             class_indexes = sorted(
-                {(first_class + offset) % spec.class_count for offset in range(span)}
+                (first_class + offset) % spec.class_count for offset in range(span)
             )
             operations.append(
                 GeneratedOperation(

@@ -199,7 +199,7 @@ class ShardedWorkloadGenerator:
             span = spec.effective_query_span
             first_class = query_stream.randint(0, spec.class_count - 1)
             class_indexes = sorted(
-                {(first_class + offset) % spec.class_count for offset in range(span)}
+                (first_class + offset) % spec.class_count for offset in range(span)
             )
             plan.operations.append(
                 GeneratedOperation(

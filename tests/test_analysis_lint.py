@@ -159,9 +159,15 @@ class TestNoUnorderedIteration:
 
     def test_negative_outside_scoped_packages(self, engine):
         findings = engine.lint_source(
-            self.POSITIVE, path="workloads/x.py", scope_path="workloads/x.py"
+            self.POSITIVE, path="metrics/x.py", scope_path="metrics/x.py"
         )
         assert findings == []
+
+    def test_positive_workloads_in_scope(self, engine):
+        # Workload generation feeds the protocol: a hash-ordered span of
+        # conflict classes changes which histories a seed produces.
+        findings = lint(engine, self.POSITIVE, scope="workloads/x.py")
+        assert rules_of(findings) == ["no-unordered-iteration"]
 
     def test_negative_dict_iteration_is_order_documented(self, engine):
         source = "def f(d: dict):\n    for k in d:\n        use(k)\n"
